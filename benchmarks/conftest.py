@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one figure or table of the paper at the
+paper's scale (node counts, aggregator counts, buffer/stripe sizes from the
+figure captions), prints the reproduced series, and asserts the qualitative
+checks (who wins, by what factor, where the optimum lies).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to see the reproduced tables inline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_experiment
+
+#: Scale divisor applied to node counts.  1.0 reproduces the paper's scale;
+#: set REPRO_BENCH_SCALE=8 (for example) for a quick smoke run.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Run a registered experiment once under pytest-benchmark and verify it."""
+
+    def run(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": BENCH_SCALE},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.render())
+        assert result.all_checks_pass(), (
+            f"{experiment_id} failed qualitative checks: {result.failed_checks()}"
+        )
+        return result
+
+    return run

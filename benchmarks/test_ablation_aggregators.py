@@ -1,0 +1,10 @@
+"""Ablation — aggregators per OST sweep.
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_ablation_aggregators(experiment_runner):
+    experiment_runner("ablation_aggregators")

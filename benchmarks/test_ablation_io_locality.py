@@ -1,0 +1,10 @@
+"""Ablation — value of I/O-node locality (the C2 term vs the Theta C2=0 rule).
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_ablation_io_locality(experiment_runner):
+    experiment_runner("ablation_io_locality")

@@ -1,0 +1,10 @@
+"""Ablation — double-buffer pipelining on/off.
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_ablation_pipelining(experiment_runner):
+    experiment_runner("ablation_pipelining")

@@ -1,0 +1,10 @@
+"""Ablation — aggregator placement strategies.
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_ablation_placement(experiment_runner):
+    experiment_runner("ablation_placement")

@@ -1,0 +1,92 @@
+"""Component micro-benchmarks of the library's own hot paths.
+
+Unlike the figure reproductions (which time a *model* of Mira/Theta), these
+benchmark the reproduction's code itself: topology routing, the placement
+objective, the aggregation round scheduler and a full discrete-event TAPIOCA
+write.  They guard against performance regressions in the pieces every
+experiment relies on.
+"""
+
+from repro.core.aggregation import build_schedule
+from repro.core.config import TapiocaConfig
+from repro.core.partitioning import build_partitions
+from repro.core.placement import place_aggregators
+from repro.core.runtime import TapiocaIO
+from repro.core.topology_iface import TopologyInterface
+from repro.machine.mira import MiraMachine
+from repro.machine.theta import ThetaMachine
+from repro.simmpi.world import SimWorld
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.mapping import block_mapping
+from repro.topology.torus import TorusTopology
+from repro.workloads.hacc import HACCIOWorkload
+from repro.workloads.ior import IORWorkload
+
+
+def test_torus_routing_throughput(benchmark):
+    """Dimension-order routing on a 512-node 5D torus (1,000 random-ish pairs)."""
+    topo = TorusTopology.bgq_partition(512)
+    pairs = [(i * 7 % 512, i * 131 % 512) for i in range(1000)]
+
+    def route_all():
+        return sum(topo.route(a, b).hops for a, b in pairs)
+
+    total = benchmark(route_all)
+    assert total > 0
+
+
+def test_dragonfly_distance_throughput(benchmark):
+    """Router-level distance queries on the full Theta dragonfly."""
+    topo = DragonflyTopology.theta()
+    pairs = [(i * 13 % topo.num_nodes, i * 977 % topo.num_nodes) for i in range(2000)]
+
+    def distances():
+        return sum(topo.distance(a, b) for a, b in pairs)
+
+    total = benchmark(distances)
+    assert total > 0
+
+
+def test_topology_aware_placement_512_nodes(benchmark):
+    """The C1+C2 election for a full 512-node Mira allocation (node granularity)."""
+    machine = MiraMachine(512)
+    num_ranks = 512 * 16
+    workload = HACCIOWorkload(num_ranks, 25_000, layout="aos")
+    mapping = block_mapping(num_ranks, 512, 16)
+    iface = TopologyInterface(machine, mapping)
+    partitions = build_partitions(
+        workload, 64, machine=machine, mapping=mapping, partition_by="pset"
+    )
+
+    placement = benchmark(
+        place_aggregators, partitions, iface, strategy="topology-aware", granularity="node"
+    )
+    assert len(placement.aggregators) == len(partitions)
+
+
+def test_round_scheduler_throughput(benchmark):
+    """Scheduling a 16K-rank HACC-IO SoA declaration into 16 MiB rounds."""
+    workload = HACCIOWorkload(16_384, 25_000, layout="soa")
+    partitions = build_partitions(workload, 192)
+
+    schedule = benchmark(build_schedule, workload, partitions, 16 * 1024 * 1024)
+    assert schedule.total_bytes() == workload.total_bytes()
+
+
+def test_discrete_event_tapioca_write(benchmark):
+    """A complete discrete-event TAPIOCA write on a 32-rank Theta-like world."""
+
+    def run():
+        machine = ThetaMachine(16)
+        world = SimWorld(machine, ranks_per_node=2)
+        workload = IORWorkload(32, transfer_size=64 * 1024)
+        runtime = TapiocaIO(
+            world,
+            workload,
+            TapiocaConfig(num_aggregators=4, buffer_size=32 * 1024),
+            path="/out/bench.dat",
+        )
+        return world.run(runtime.write_program()).elapsed
+
+    elapsed = benchmark(run)
+    assert elapsed > 0

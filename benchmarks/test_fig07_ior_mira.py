@@ -1,0 +1,10 @@
+"""Fig. 7 — IOR on 512 Mira nodes, baseline vs optimized MPI I/O (GPFS tuning study).
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig07(experiment_runner):
+    experiment_runner("fig07")

@@ -1,0 +1,10 @@
+"""Fig. 8 — IOR on 512 Theta nodes, baseline vs optimized MPI I/O (Lustre tuning study).
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig08(experiment_runner):
+    experiment_runner("fig08")

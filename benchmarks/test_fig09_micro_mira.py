@@ -1,0 +1,10 @@
+"""Fig. 9 — microbenchmark on 1,024 Mira nodes, TAPIOCA vs MPI I/O parity.
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig09(experiment_runner):
+    experiment_runner("fig09")

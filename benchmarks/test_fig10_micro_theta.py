@@ -1,0 +1,10 @@
+"""Fig. 10 — microbenchmark on 512 Theta nodes, TAPIOCA ~2x MPI I/O.
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig10(experiment_runner):
+    experiment_runner("fig10")

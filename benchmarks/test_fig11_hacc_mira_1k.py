@@ -1,0 +1,10 @@
+"""Fig. 11 — HACC-IO on 1,024 Mira nodes (one file per Pset).
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig11(experiment_runner):
+    experiment_runner("fig11")

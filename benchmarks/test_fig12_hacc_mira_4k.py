@@ -1,0 +1,10 @@
+"""Fig. 12 — HACC-IO on 4,096 Mira nodes (peak ~89.6 GBps).
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig12(experiment_runner):
+    experiment_runner("fig12")

@@ -1,0 +1,10 @@
+"""Fig. 13 — HACC-IO on 1,024 Theta nodes (48 OSTs, 192 aggregators).
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig13(experiment_runner):
+    experiment_runner("fig13")

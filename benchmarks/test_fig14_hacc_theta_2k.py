@@ -1,0 +1,10 @@
+"""Fig. 14 — HACC-IO on 2,048 Theta nodes (384 aggregators).
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_fig14(experiment_runner):
+    experiment_runner("fig14")

@@ -1,0 +1,10 @@
+"""Headline claims — speedup factors over MPI I/O on both platforms.
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_headline(experiment_runner):
+    experiment_runner("headline")

@@ -1,0 +1,10 @@
+"""Table I — aggregation buffer size : Lustre stripe size ratio sweep.
+
+Regenerates the experiment with the analytic performance model at the
+paper's scale and asserts its qualitative checks.  See EXPERIMENTS.md for
+the paper-vs-measured comparison.
+"""
+
+
+def test_table1(experiment_runner):
+    experiment_runner("table1")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Aggregator placement study on an architecture the paper never ran on.
+
+The point of TAPIOCA's topology abstraction (the paper's Listing 1) is that
+the placement cost model works on *any* machine.  This example builds a
+generic fat-tree commodity cluster with explicit I/O gateway nodes — neither
+a BG/Q nor an XC40 — and compares the paper's topology-aware objective
+against the simpler strategies, both on the objective value (the C1+C2 cost)
+and on the end-to-end modelled bandwidth.
+
+Run with:  python examples/aggregator_placement_study.py
+"""
+
+from repro.core import TapiocaConfig, TopologyInterface, build_partitions, place_aggregators
+from repro.core.placement import placement_cost
+from repro.machine import generic_cluster
+from repro.perfmodel import model_tapioca
+from repro.topology.mapping import random_mapping
+from repro.utils.tables import Table
+from repro.utils.units import MIB
+from repro.workloads import HACCIOWorkload
+
+NUM_NODES = 64
+RANKS_PER_NODE = 8
+NUM_AGGREGATORS = 8
+STRATEGIES = ["topology-aware", "shortest-io", "max-volume", "rank-order", "random"]
+
+machine = generic_cluster(NUM_NODES, nodes_per_leaf=16, num_gateways=4)
+num_ranks = NUM_NODES * RANKS_PER_NODE
+workload = HACCIOWorkload(num_ranks, 25_000, layout="aos")
+# A scrambled rank-to-node mapping (as produced by a busy scheduler): the
+# naive "first rank of the partition" policy now lands on arbitrary nodes,
+# which is exactly the situation the topology-aware objective handles.
+mapping = random_mapping(num_ranks, NUM_NODES, RANKS_PER_NODE, seed=2017)
+iface = TopologyInterface(machine, mapping)
+partitions = build_partitions(workload, NUM_AGGREGATORS)
+
+table = Table(
+    headers=["strategy", "objective cost (ms)", "modelled bandwidth (GBps)", "aggregator nodes"],
+    title=f"Aggregator placement on {machine.name} ({NUM_NODES} nodes, {NUM_AGGREGATORS} aggregators)",
+)
+
+for strategy in STRATEGIES:
+    placement = place_aggregators(partitions, iface, strategy=strategy, seed=42)
+    cost = placement_cost(placement, partitions, iface)
+    estimate = model_tapioca(
+        machine,
+        workload,
+        TapiocaConfig(
+            num_aggregators=NUM_AGGREGATORS,
+            buffer_size=4 * MIB,
+            placement=strategy,
+            placement_seed=42,
+        ),
+        ranks_per_node=RANKS_PER_NODE,
+        mapping=mapping,
+    )
+    nodes = sorted({mapping.node(rank) for rank in placement.aggregators})
+    table.add_row(
+        strategy,
+        round(cost * 1e3, 3),
+        round(estimate.bandwidth_gbps(), 2),
+        ",".join(str(n) for n in nodes),
+    )
+
+print(table.render())
+print(
+    "\nThe topology-aware objective always achieves the lowest aggregate "
+    "C1+C2 cost — on this fat tree it pulls aggregators towards the leaf "
+    "switches that host the I/O gateways, something neither rank order nor "
+    "data-volume-only placement does."
+)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists only so
+that ``pip install -e .`` works in offline environments whose setuptools/pip
+combination cannot perform a PEP 660 editable install (no ``wheel`` package
+available).
+"""
+
+from setuptools import setup
+
+setup()

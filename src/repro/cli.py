@@ -1,0 +1,152 @@
+"""Command-line interface for the TAPIOCA reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                       # list reproducible experiments
+    python -m repro run fig13                  # reproduce one figure/table
+    python -m repro run fig13 --scale 8        # reduced-scale quick run
+    python -m repro report -o EXPERIMENTS.md   # regenerate the full report
+    python -m repro estimate --machine theta --nodes 1024 \
+        --particles 25000 --layout soa         # one-off TAPIOCA vs MPI I/O estimate
+
+The CLI only wraps functionality available from the library
+(:mod:`repro.experiments`, :mod:`repro.perfmodel`); it exists so the figures
+can be regenerated without writing any Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import TapiocaConfig
+from repro.experiments.harness import list_experiments, run_experiment
+from repro.experiments.report import generate_report
+from repro.iolib.hints import MPIIOHints
+from repro.machine.mira import MiraMachine
+from repro.machine.theta import ThetaMachine
+from repro.perfmodel.mpiio import model_mpiio
+from repro.perfmodel.tapioca import model_tapioca
+from repro.storage.gpfs import GPFSModel
+from repro.storage.lustre import LustreStripeConfig
+from repro.utils.units import MIB
+from repro.workloads.hacc import HACCIOWorkload
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, scale=args.scale)
+    print(result.render())
+    return 0 if result.all_checks_pass() else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = generate_report(scale=args.scale)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    """One-off TAPIOCA vs MPI I/O estimate for a HACC-IO style workload."""
+    ranks = args.nodes * args.ranks_per_node
+    workload = HACCIOWorkload(ranks, args.particles, layout=args.layout)
+    if args.machine == "theta":
+        machine = ThetaMachine(args.nodes)
+        stripe = LustreStripeConfig(48, args.buffer_mib * MIB)
+        aggregators_per_ost = max(1, args.aggregators // 48)
+        tapioca = model_tapioca(
+            machine,
+            workload,
+            TapiocaConfig(num_aggregators=args.aggregators, buffer_size=args.buffer_mib * MIB),
+            stripe=stripe,
+            ranks_per_node=args.ranks_per_node,
+        )
+        mpiio = model_mpiio(
+            machine,
+            workload,
+            MPIIOHints(
+                cb_buffer_size=args.buffer_mib * MIB,
+                striping_factor=48,
+                striping_unit=args.buffer_mib * MIB,
+                aggregators_per_ost=aggregators_per_ost,
+            ),
+            ranks_per_node=args.ranks_per_node,
+        )
+    else:
+        machine = MiraMachine(args.nodes)
+        gpfs = GPFSModel.for_mira_psets(machine.num_psets, subfiling=True)
+        tapioca = model_tapioca(
+            machine,
+            workload,
+            TapiocaConfig(
+                num_aggregators=args.aggregators,
+                buffer_size=args.buffer_mib * MIB,
+                partition_by="pset",
+            ),
+            filesystem=gpfs,
+            ranks_per_node=args.ranks_per_node,
+        )
+        mpiio = model_mpiio(
+            machine,
+            workload,
+            MPIIOHints(cb_nodes=args.aggregators, cb_buffer_size=args.buffer_mib * MIB),
+            filesystem=gpfs,
+            ranks_per_node=args.ranks_per_node,
+        )
+    print(tapioca.summary())
+    print(mpiio.summary())
+    print(f"speedup: {tapioca.bandwidth / mpiio.bandwidth:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TAPIOCA (CLUSTER 2017) reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list reproducible experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="reproduce one figure/table")
+    run_parser.add_argument("experiment", choices=list_experiments())
+    run_parser.add_argument("--scale", type=float, default=1.0, help="node-count divisor")
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    report_parser.add_argument("--scale", type=float, default=1.0)
+    report_parser.set_defaults(func=_cmd_report)
+
+    estimate_parser = subparsers.add_parser(
+        "estimate", help="one-off TAPIOCA vs MPI I/O estimate (HACC-IO style workload)"
+    )
+    estimate_parser.add_argument("--machine", choices=("theta", "mira"), default="theta")
+    estimate_parser.add_argument("--nodes", type=int, default=1024)
+    estimate_parser.add_argument("--ranks-per-node", type=int, default=16)
+    estimate_parser.add_argument("--particles", type=int, default=25_000)
+    estimate_parser.add_argument("--layout", choices=("aos", "soa"), default="aos")
+    estimate_parser.add_argument("--aggregators", type=int, default=192)
+    estimate_parser.add_argument("--buffer-mib", type=int, default=16)
+    estimate_parser.set_defaults(func=_cmd_estimate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

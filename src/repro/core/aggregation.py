@@ -1,0 +1,213 @@
+"""Aggregation round scheduling (the paper's Algorithm 2 initialisation).
+
+When the application calls ``TAPIOCA_Init`` it declares *every* upcoming
+write (element counts, type sizes and file offsets).  From that declaration
+TAPIOCA derives, per partition, a schedule of aggregation **rounds**: the
+partition's data, taken in ascending file-offset order, is cut into
+buffer-sized rounds, and each rank learns
+
+* which pieces of its segments it must ``Put`` into the aggregator's buffer
+  in which round and at which buffer offset (``GetRound`` /
+  ``GetAggregatorRank`` / ``GetRoundSize`` in Algorithm 3), and
+* which contiguous file extents the aggregator flushes at the end of each
+  round.
+
+Because the schedule spans *all* declared writes, the buffers fill completely
+before each flush even when the application issues many small writes — the
+behaviour contrasted with plain MPI I/O in the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.partitioning import Partition
+from repro.utils.validation import require_positive
+from repro.workloads.base import Segment, Workload
+
+
+@dataclass(frozen=True)
+class PutOp:
+    """One piece of a rank's segment shipped to its aggregator in one round.
+
+    Attributes:
+        rank: producing world rank.
+        round_index: aggregation round (within the partition).
+        segment: the source segment declared by the workload.
+        segment_offset: offset of the piece within the source segment.
+        nbytes: piece length.
+        buffer_offset: destination offset within the aggregation buffer.
+        file_offset: absolute file offset of the piece (for verification).
+    """
+
+    rank: int
+    round_index: int
+    segment: Segment
+    segment_offset: int
+    nbytes: int
+    buffer_offset: int
+    file_offset: int
+
+
+@dataclass(frozen=True)
+class FlushOp:
+    """One contiguous file extent flushed by the aggregator at a round's end.
+
+    Attributes:
+        round_index: aggregation round.
+        file_offset: absolute file offset of the extent.
+        nbytes: extent length.
+        buffer_offset: offset of the extent within the aggregation buffer.
+    """
+
+    round_index: int
+    file_offset: int
+    nbytes: int
+    buffer_offset: int
+
+
+@dataclass
+class PartitionSchedule:
+    """The complete aggregation schedule of one partition.
+
+    Attributes:
+        partition: the partition being scheduled.
+        buffer_size: aggregation buffer size in bytes.
+        num_rounds: number of rounds needed to drain the partition.
+        puts_by_rank: puts of each member rank, in round order.
+        flushes: aggregator flushes, in round order.
+        round_bytes: bytes aggregated in each round (== buffer_size except
+            possibly the last round).
+    """
+
+    partition: Partition
+    buffer_size: int
+    num_rounds: int = 0
+    puts_by_rank: dict[int, list[PutOp]] = field(default_factory=dict)
+    flushes: list[FlushOp] = field(default_factory=list)
+    round_bytes: list[int] = field(default_factory=list)
+
+    def puts_for_round(self, rank: int, round_index: int) -> list[PutOp]:
+        """The puts of ``rank`` in ``round_index`` (possibly empty)."""
+        return [
+            op
+            for op in self.puts_by_rank.get(rank, [])
+            if op.round_index == round_index
+        ]
+
+    def flushes_for_round(self, round_index: int) -> list[FlushOp]:
+        """The flush extents of ``round_index`` (possibly empty)."""
+        return [op for op in self.flushes if op.round_index == round_index]
+
+    def total_bytes(self) -> int:
+        """Bytes aggregated by this partition over all rounds."""
+        return sum(self.round_bytes)
+
+
+@dataclass
+class AggregationSchedule:
+    """Schedules of every partition, plus global round bookkeeping.
+
+    Attributes:
+        partitions: per-partition schedules (index-aligned with the
+            partitions passed to :func:`build_schedule`).
+        buffer_size: the aggregation buffer size used.
+        num_rounds: the global number of rounds (max over partitions) —
+            partitions proceed in parallel, so this bounds the pipeline depth.
+    """
+
+    partitions: list[PartitionSchedule]
+    buffer_size: int
+    num_rounds: int
+
+    def schedule_of_rank(self, rank: int) -> PartitionSchedule:
+        """The partition schedule containing ``rank``."""
+        for schedule in self.partitions:
+            if rank in schedule.partition.bytes_per_rank:
+                return schedule
+        raise KeyError(f"rank {rank} is not in any partition schedule")
+
+    def total_bytes(self) -> int:
+        """Total bytes aggregated across all partitions."""
+        return sum(schedule.total_bytes() for schedule in self.partitions)
+
+
+def _schedule_partition(
+    workload: Workload, partition: Partition, buffer_size: int
+) -> PartitionSchedule:
+    """Cut one partition's declared data into buffer-sized rounds."""
+    schedule = PartitionSchedule(partition=partition, buffer_size=buffer_size)
+    segments = [
+        segment
+        for rank in partition.ranks
+        for segment in workload.segments_for_rank(rank)
+        if segment.nbytes > 0
+    ]
+    if not segments:
+        return schedule
+    # Aggregation buffers are filled in ascending file-offset order so each
+    # flush is as contiguous as the declaration allows.
+    segments.sort(key=lambda s: s.offset)
+    total = sum(s.nbytes for s in segments)
+    schedule.num_rounds = max(1, math.ceil(total / buffer_size))
+    schedule.round_bytes = [
+        min(buffer_size, total - r * buffer_size) for r in range(schedule.num_rounds)
+    ]
+    cursor = 0  # running byte position within the partition's aggregate stream
+    flush_accumulator: dict[int, list[FlushOp]] = {}
+    for segment in segments:
+        consumed = 0
+        while consumed < segment.nbytes:
+            round_index, buffer_offset = divmod(cursor, buffer_size)
+            take = min(segment.nbytes - consumed, buffer_size - buffer_offset)
+            put = PutOp(
+                rank=segment.rank,
+                round_index=round_index,
+                segment=segment,
+                segment_offset=consumed,
+                nbytes=take,
+                buffer_offset=buffer_offset,
+                file_offset=segment.offset + consumed,
+            )
+            schedule.puts_by_rank.setdefault(segment.rank, []).append(put)
+            # Build the matching flush extent, merging with the previous one
+            # when both the file range and the buffer range are contiguous.
+            extents = flush_accumulator.setdefault(round_index, [])
+            if (
+                extents
+                and extents[-1].file_offset + extents[-1].nbytes == put.file_offset
+                and extents[-1].buffer_offset + extents[-1].nbytes == buffer_offset
+            ):
+                last = extents[-1]
+                extents[-1] = FlushOp(
+                    round_index, last.file_offset, last.nbytes + take, last.buffer_offset
+                )
+            else:
+                extents.append(FlushOp(round_index, put.file_offset, take, buffer_offset))
+            consumed += take
+            cursor += take
+    for round_index in sorted(flush_accumulator):
+        schedule.flushes.extend(flush_accumulator[round_index])
+    return schedule
+
+
+def build_schedule(
+    workload: Workload, partitions: list[Partition], buffer_size: int
+) -> AggregationSchedule:
+    """Build the aggregation schedule for every partition.
+
+    Args:
+        workload: the declared workload (``TAPIOCA_Init`` information).
+        partitions: aggregation partitions (see :func:`repro.core.partitioning.build_partitions`).
+        buffer_size: aggregation buffer size in bytes.
+    """
+    require_positive(buffer_size, "buffer_size")
+    schedules = [
+        _schedule_partition(workload, partition, buffer_size)
+        for partition in partitions
+    ]
+    num_rounds = max((s.num_rounds for s in schedules), default=0)
+    return AggregationSchedule(
+        partitions=schedules, buffer_size=buffer_size, num_rounds=num_rounds
+    )

@@ -1,0 +1,326 @@
+"""High-level TAPIOCA facade.
+
+The paper's user-facing API (Algorithm 2) is::
+
+    TAPIOCA_Init(count[], type[], offset[], nVar);
+    TAPIOCA_Write(f, offset, x, n, type, status);   // one call per variable
+    ...
+
+i.e. the application *declares* all upcoming writes, then performs them.
+:class:`Tapioca` is the Python analogue for this reproduction.  It accepts a
+declaration (either a :class:`~repro.workloads.base.Workload` or per-rank
+``(counts, type_sizes, offsets)`` arrays exactly like the paper) and offers
+two execution paths:
+
+* :meth:`Tapioca.simulate_write` / :meth:`Tapioca.simulate_read` — run the
+  real aggregation protocol on the discrete-event MPI (practical up to a few
+  hundred ranks; produces byte-exact files);
+* :meth:`Tapioca.estimate_write` / :meth:`Tapioca.estimate_read` — the
+  flow-level analytic model (practical at the paper's 8K–64K rank scales).
+
+It also exposes the placement decision (:meth:`Tapioca.placement_report`)
+so applications and the ablation benchmarks can inspect which node each
+partition elected and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.aggregation import AggregationSchedule, build_schedule
+from repro.core.config import TapiocaConfig
+from repro.core.partitioning import Partition, build_partitions
+from repro.core.placement import PlacementResult, place_aggregators
+from repro.core.topology_iface import TopologyInterface
+from repro.machine.machine import Machine
+from repro.storage.lustre import LustreStripeConfig
+from repro.topology.mapping import RankMapping, block_mapping
+from repro.utils.validation import require, require_positive
+from repro.workloads.base import Segment, Workload
+
+
+class DeclaredWorkload(Workload):
+    """A workload built from per-rank ``TAPIOCA_Init``-style declarations.
+
+    Args:
+        declarations: for each rank, a list of ``(count, type_size, offset)``
+            triples — exactly the three arrays of the paper's Algorithm 2.
+        access: ``"write"`` or ``"read"``.
+    """
+
+    name = "declared"
+
+    def __init__(
+        self,
+        declarations: Sequence[Sequence[tuple[int, int, int]]],
+        *,
+        access: str = "write",
+        payload_seed: int = 0,
+    ) -> None:
+        require(len(declarations) > 0, "need at least one rank's declaration")
+        self.num_ranks = len(declarations)
+        self.access = access
+        self.payload_seed = payload_seed
+        self._segments: list[list[Segment]] = []
+        max_vars = 0
+        for rank, triples in enumerate(declarations):
+            segments = []
+            for var_index, (count, type_size, offset) in enumerate(triples):
+                require(count >= 0, f"count must be >= 0, got {count}")
+                require_positive(type_size, "type_size")
+                require(offset >= 0, f"offset must be >= 0, got {offset}")
+                nbytes = int(count) * int(type_size)
+                if nbytes > 0:
+                    segments.append(
+                        Segment(
+                            rank=rank,
+                            offset=int(offset),
+                            nbytes=nbytes,
+                            call_index=var_index,
+                            variable=f"var{var_index}",
+                        )
+                    )
+                max_vars = max(max_vars, var_index + 1)
+            self._segments.append(segments)
+        self._num_calls = max(max_vars, 1)
+
+    def num_calls(self) -> int:
+        return self._num_calls
+
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        self.validate_rank(rank)
+        return list(self._segments[rank])
+
+    def is_uniform(self) -> bool:
+        return False
+
+
+@dataclass
+class SimulationOutcome:
+    """Result of a discrete-event TAPIOCA run.
+
+    Attributes:
+        elapsed: simulated wall time in seconds.
+        bandwidth: aggregate bandwidth in bytes/s.
+        total_bytes: bytes moved.
+        elected: aggregator world rank per partition index.
+        world_result: the raw :class:`repro.simmpi.world.WorldResult`.
+    """
+
+    elapsed: float
+    bandwidth: float
+    total_bytes: int
+    elected: dict[int, int]
+    world_result: Any
+
+
+class Tapioca:
+    """User-facing TAPIOCA instance for one machine + declared workload.
+
+    Args:
+        machine: the platform to run on.
+        config: TAPIOCA configuration (aggregator count, buffer size,
+            placement strategy, pipeline depth...).
+        ranks_per_node: MPI ranks per node (defaults to the machine's usual).
+        mapping: explicit rank-to-node mapping (defaults to block mapping).
+        stripe: optional Lustre striping for the output file.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: TapiocaConfig | None = None,
+        *,
+        ranks_per_node: int | None = None,
+        mapping: RankMapping | None = None,
+        stripe: LustreStripeConfig | None = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or TapiocaConfig()
+        self.ranks_per_node = (
+            machine.default_ranks_per_node if ranks_per_node is None else ranks_per_node
+        )
+        machine.validate_ranks_per_node(self.ranks_per_node)
+        self.stripe = stripe
+        self._explicit_mapping = mapping
+        self.workload: Workload | None = None
+
+    # ------------------------------------------------------------------ #
+    # Declaration (TAPIOCA_Init)
+    # ------------------------------------------------------------------ #
+
+    def declare(self, workload: Workload) -> "Tapioca":
+        """Declare the upcoming I/O as a :class:`Workload`; returns ``self``."""
+        num_nodes = -(-workload.num_ranks // self.ranks_per_node)
+        require(
+            num_nodes <= self.machine.num_nodes,
+            f"workload needs {num_nodes} nodes but {self.machine.name} has "
+            f"{self.machine.num_nodes}",
+        )
+        self.workload = workload
+        return self
+
+    def init(
+        self, declarations: Sequence[Sequence[tuple[int, int, int]]]
+    ) -> "Tapioca":
+        """Paper-style ``TAPIOCA_Init``: per-rank (count, type_size, offset) triples."""
+        return self.declare(DeclaredWorkload(declarations))
+
+    def _require_workload(self) -> Workload:
+        if self.workload is None:
+            raise RuntimeError(
+                "no workload declared; call declare() or init() first "
+                "(the paper requires describing upcoming I/O before writing)"
+            )
+        return self.workload
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def mapping(self) -> RankMapping:
+        """The rank-to-node mapping used."""
+        workload = self._require_workload()
+        if self._explicit_mapping is not None:
+            return self._explicit_mapping
+        num_nodes = -(-workload.num_ranks // self.ranks_per_node)
+        return block_mapping(workload.num_ranks, num_nodes, self.ranks_per_node)
+
+    def partitions(self) -> list[Partition]:
+        """The aggregation partitions implied by the configuration."""
+        workload = self._require_workload()
+        num_aggregators = self.config.resolve_num_aggregators(
+            self.machine, workload.num_ranks
+        )
+        return build_partitions(
+            workload,
+            num_aggregators,
+            machine=self.machine,
+            mapping=self.mapping(),
+            partition_by=self.config.partition_by,
+        )
+
+    def placement_report(self, *, granularity: str = "node") -> PlacementResult:
+        """Run the placement and return per-partition elected aggregators."""
+        iface = TopologyInterface(self.machine, self.mapping())
+        return place_aggregators(
+            self.partitions(),
+            iface,
+            strategy=self.config.placement,
+            seed=self.config.placement_seed,
+            granularity=granularity,
+        )
+
+    def schedule(self) -> AggregationSchedule:
+        """The aggregation round schedule for the declared workload."""
+        return build_schedule(
+            self._require_workload(), self.partitions(), self.config.buffer_size
+        )
+
+    # ------------------------------------------------------------------ #
+    # Discrete-event execution
+    # ------------------------------------------------------------------ #
+
+    def _build_world(self):
+        from repro.simmpi.world import SimWorld
+
+        workload = self._require_workload()
+        num_nodes = -(-workload.num_ranks // self.ranks_per_node)
+        return SimWorld(
+            self.machine,
+            num_nodes=num_nodes,
+            ranks_per_node=self.ranks_per_node,
+            mapping=self._explicit_mapping,
+        )
+
+    def _filesystem_with_stripe(self):
+        """The machine's file system with the configured striping applied."""
+        from repro.storage.lustre import LustreModel
+
+        filesystem = self.machine.filesystem()
+        if self.stripe is not None:
+            if not isinstance(filesystem, LustreModel):
+                raise ValueError(
+                    "a Lustre stripe configuration was given but the machine's "
+                    f"file system is {filesystem.name}"
+                )
+            filesystem = filesystem.with_stripe(self.stripe)
+        return filesystem
+
+    def simulate_write(self, *, path: str = "/out/tapioca.dat") -> SimulationOutcome:
+        """Run the full TAPIOCA write protocol on the discrete-event MPI."""
+        from repro.core.runtime import TapiocaIO
+
+        workload = self._require_workload()
+        world = self._build_world()
+        filesystem = self._filesystem_with_stripe()
+        runtime = TapiocaIO(
+            world, workload, self.config, path=path, filesystem=filesystem
+        )
+        result = world.run(runtime.write_program())
+        total = workload.total_bytes()
+        return SimulationOutcome(
+            elapsed=result.elapsed,
+            bandwidth=result.bandwidth(total),
+            total_bytes=total,
+            elected=dict(runtime.elected),
+            world_result=result,
+        )
+
+    def simulate_read(self, *, path: str = "/out/tapioca.dat") -> SimulationOutcome:
+        """Run the full TAPIOCA read protocol on the discrete-event MPI.
+
+        The file must have been populated beforehand (e.g. by
+        :meth:`simulate_write` with the same path, or directly through the
+        returned world's file registry).
+        """
+        from repro.core.runtime import TapiocaIO
+
+        workload = self._require_workload()
+        world = self._build_world()
+        filesystem = self._filesystem_with_stripe()
+        runtime = TapiocaIO(
+            world, workload, self.config, path=path, filesystem=filesystem
+        )
+        result = world.run(runtime.read_program())
+        total = workload.total_bytes()
+        return SimulationOutcome(
+            elapsed=result.elapsed,
+            bandwidth=result.bandwidth(total),
+            total_bytes=total,
+            elected=dict(runtime.elected),
+            world_result=result,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Analytic estimates
+    # ------------------------------------------------------------------ #
+
+    def estimate_write(self, **overrides: Any):
+        """Flow-level analytic estimate of the declared write (``IOEstimate``)."""
+        from repro.perfmodel.tapioca import model_tapioca
+
+        return model_tapioca(
+            self.machine,
+            self._require_workload(),
+            self.config,
+            access="write",
+            ranks_per_node=self.ranks_per_node,
+            stripe=self.stripe,
+            **overrides,
+        )
+
+    def estimate_read(self, **overrides: Any):
+        """Flow-level analytic estimate of the declared read (``IOEstimate``)."""
+        from repro.perfmodel.tapioca import model_tapioca
+
+        return model_tapioca(
+            self.machine,
+            self._require_workload(),
+            self.config,
+            access="read",
+            ranks_per_node=self.ranks_per_node,
+            stripe=self.stripe,
+            **overrides,
+        )

@@ -1,0 +1,132 @@
+"""The aggregator-placement cost model (paper, Section IV-B).
+
+For one partition and one candidate aggregator ``A``:
+
+* aggregation cost — the cost of every producer shipping its data to ``A``::
+
+      C1 = Σ_{i ∈ V_C, i ≠ A}  ( l · d(i, A) + ω(i, A) / B_{i→A} )
+
+* I/O cost — the cost of ``A`` shipping the aggregated data to the storage
+  system's entry point ``IO``::
+
+      C2 = l · d(A, IO) + ω(A, IO) / B_{A→IO}
+
+* objective — ``TopoAware(A) = C1 + C2``, minimised over the candidates.
+
+On platforms where the I/O node locality is not exposed (Theta), ``C2`` is
+set to zero, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.topology_iface import TopologyInterface
+from repro.utils.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The two cost terms for one candidate aggregator.
+
+    Attributes:
+        candidate: candidate world rank.
+        aggregation: C1, seconds.
+        io: C2, seconds (0 when the I/O locality is unknown).
+    """
+
+    candidate: int
+    aggregation: float
+    io: float
+
+    @property
+    def total(self) -> float:
+        """The objective value ``C1 + C2``."""
+        return self.aggregation + self.io
+
+
+class AggregationCostModel:
+    """Evaluates the paper's objective function through a topology interface.
+
+    Args:
+        iface: the topology abstraction for the machine + mapping.
+    """
+
+    def __init__(self, iface: TopologyInterface) -> None:
+        self.iface = iface
+
+    # ------------------------------------------------------------------ #
+    # Individual terms
+    # ------------------------------------------------------------------ #
+
+    def aggregation_cost(
+        self, candidate: int, volumes: Mapping[int, int]
+    ) -> float:
+        """C1: cost of every producer rank shipping its bytes to ``candidate``.
+
+        Args:
+            candidate: candidate aggregator (world rank).
+            volumes: bytes each producer rank of the partition would send,
+                keyed by world rank (``ω(i, A)``).
+        """
+        latency = self.iface.get_latency()
+        total = 0.0
+        for rank, nbytes in volumes.items():
+            if rank == candidate:
+                continue
+            require_non_negative(nbytes, f"volume of rank {rank}")
+            hops = self.iface.distance_between_ranks(rank, candidate)
+            bandwidth = self.iface.bandwidth_between_ranks(rank, candidate)
+            total += latency * hops + float(nbytes) / bandwidth
+        return total
+
+    def io_cost(self, candidate: int, io_bytes: int) -> float:
+        """C2: cost of the candidate shipping ``io_bytes`` to its I/O node.
+
+        Returns 0 when the platform does not expose I/O node locality, per
+        the paper's rule for Theta.
+        """
+        require_non_negative(io_bytes, "io_bytes")
+        if not self.iface.io_locality_known():
+            return 0.0
+        distance = self.iface.distance_to_io_node(candidate)
+        if distance is None:
+            return 0.0
+        latency = self.iface.get_latency()
+        bandwidth = self.iface.io_bandwidth_of_rank(candidate)
+        return latency * distance + float(io_bytes) / bandwidth
+
+    # ------------------------------------------------------------------ #
+    # Objective
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self, candidate: int, volumes: Mapping[int, int]
+    ) -> CostBreakdown:
+        """The full objective for one candidate.
+
+        ``ω(A, IO)`` is the sum of every producer's contribution — the total
+        amount the aggregator will eventually push to storage (including its
+        own data).
+        """
+        io_bytes = sum(volumes.values())
+        return CostBreakdown(
+            candidate=candidate,
+            aggregation=self.aggregation_cost(candidate, volumes),
+            io=self.io_cost(candidate, io_bytes),
+        )
+
+    def best_candidate(
+        self, candidates: list[int], volumes: Mapping[int, int]
+    ) -> tuple[int, list[CostBreakdown]]:
+        """Evaluate every candidate and return (winner, all breakdowns).
+
+        Ties are broken towards the lowest rank, matching the behaviour of
+        ``MPI_Allreduce(MINLOC)``.
+        """
+        if not candidates:
+            raise ValueError("no candidates to evaluate")
+        breakdowns = [self.evaluate(c, volumes) for c in candidates]
+        winner = min(breakdowns, key=lambda b: (b.total, b.candidate))
+        return winner.candidate, breakdowns

@@ -1,0 +1,144 @@
+"""Memory-tier aware aggregation buffers (the paper's future-work extension).
+
+The paper's conclusion sketches an extension in which aggregation moves data
+through the memory/storage hierarchy — e.g. aggregating from DRAM into
+MCDRAM on the KNL, or staging through node-local SSDs (burst buffers) before
+draining to the parallel file system.  This module implements the decision
+logic for that extension:
+
+* :func:`choose_aggregation_tier` places the aggregation buffers in the
+  fastest tier that can hold them (honouring a user preference);
+* :func:`staging_benefit` estimates whether staging a write through a burst
+  buffer (absorb fast now, drain to the PFS asynchronously) beats writing to
+  the PFS directly, which is the decision an integrated TAPIOCA would make
+  per I/O phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.node import MemoryTier, NodeSpec
+from repro.storage.base import FileSystemModel, IOPhaseProfile
+from repro.storage.burst_buffer import BurstBufferModel
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class AggregationBufferPlacement:
+    """Where an aggregator's buffers ended up.
+
+    Attributes:
+        tier: the chosen memory tier.
+        requested: the tier the configuration asked for.
+        fits: whether the requested tier could hold the buffers.
+        reason: human readable explanation of the decision.
+    """
+
+    tier: MemoryTier
+    requested: str
+    fits: bool
+    reason: str
+
+
+def choose_aggregation_tier(
+    node: NodeSpec,
+    buffer_size: int,
+    pipeline_depth: int = 2,
+    *,
+    preferred: str = "dram",
+    reserve_fraction: float = 0.5,
+) -> AggregationBufferPlacement:
+    """Pick the memory tier hosting ``pipeline_depth`` aggregation buffers.
+
+    The preferred tier is used if it exists on the node and the buffers fit
+    within ``reserve_fraction`` of its capacity (the rest is left to the
+    application); otherwise the fastest tier that fits is chosen, falling
+    back to main memory.
+
+    Args:
+        node: the aggregator's node description.
+        buffer_size: size of one aggregation buffer in bytes.
+        pipeline_depth: number of buffers (2 for double buffering).
+        preferred: requested tier name (``"dram"``, ``"mcdram"``, ``"ssd"``).
+        reserve_fraction: fraction of a tier's capacity usable for buffers.
+    """
+    require_positive(buffer_size, "buffer_size")
+    require_positive(pipeline_depth, "pipeline_depth")
+    needed = buffer_size * pipeline_depth
+    if node.has_tier(preferred):
+        tier = node.tier(preferred)
+        if needed <= tier.capacity * reserve_fraction:
+            return AggregationBufferPlacement(
+                tier=tier,
+                requested=preferred,
+                fits=True,
+                reason=f"{needed} B fit in requested tier {preferred!r}",
+            )
+    # Fastest tier that fits, searching from highest bandwidth down.
+    candidates = sorted(node.memory_tiers, key=lambda t: -t.bandwidth)
+    for tier in candidates:
+        if needed <= tier.capacity * reserve_fraction:
+            fits = tier.name == preferred
+            return AggregationBufferPlacement(
+                tier=tier,
+                requested=preferred,
+                fits=fits,
+                reason=(
+                    f"requested tier {preferred!r} unavailable or too small; "
+                    f"placed in {tier.name!r}"
+                ),
+            )
+    # Nothing fits comfortably: fall back to main memory regardless.
+    tier = node.main_memory
+    return AggregationBufferPlacement(
+        tier=tier,
+        requested=preferred,
+        fits=False,
+        reason=(
+            f"buffers of {needed} B exceed {reserve_fraction:.0%} of every tier; "
+            f"falling back to {tier.name!r}"
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class StagingDecision:
+    """Outcome of the burst-buffer staging analysis.
+
+    Attributes:
+        use_staging: whether staging through the burst buffer is predicted
+            to be faster (from the application's blocking-time perspective).
+        direct_time: blocking time of writing straight to the file system.
+        staged_time: blocking time of absorbing into the burst buffer.
+        drain_time: asynchronous drain time (not blocking the application).
+    """
+
+    use_staging: bool
+    direct_time: float
+    staged_time: float
+    drain_time: float
+
+
+def staging_benefit(
+    filesystem: FileSystemModel,
+    burst_buffer: BurstBufferModel,
+    profile: IOPhaseProfile,
+) -> StagingDecision:
+    """Compare writing directly to the PFS with staging through a burst buffer.
+
+    Staging wins when the burst buffer can absorb the phase faster than the
+    parallel file system can, and has the capacity to hold it; the drain to
+    the PFS then happens off the application's critical path.
+    """
+    direct = filesystem.phase_time(profile)
+    if profile.total_bytes > burst_buffer.total_capacity - burst_buffer.staged_bytes:
+        return StagingDecision(False, direct, float("inf"), 0.0)
+    staged = burst_buffer.phase_time(profile)
+    drain = burst_buffer.drain_time(profile.total_bytes)
+    return StagingDecision(
+        use_staging=staged < direct,
+        direct_time=direct,
+        staged_time=staged,
+        drain_time=drain,
+    )

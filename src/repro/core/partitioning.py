@@ -1,0 +1,125 @@
+"""Partitioning ranks for aggregation.
+
+The paper calls a *partition* "a subset of nodes hosting processes sharing a
+contiguous piece of data in file.  The number of aggregators defines the
+partition size, each partition electing one aggregator among the processes."
+
+For the workloads of the evaluation (IOR, HACC-IO) contiguous rank blocks own
+contiguous file regions, so partitions are built as contiguous rank blocks —
+either ``num_aggregators`` equal blocks (``partition_by="contiguous"``), or
+aligned with the machine's I/O partitions (Psets on Mira,
+``partition_by="pset"``) with the aggregators spread evenly across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.iolib.aggregators import partition_ranks
+from repro.machine.machine import Machine
+from repro.topology.mapping import RankMapping
+from repro.utils.validation import require, require_positive
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One aggregation partition.
+
+    Attributes:
+        index: partition index (also the aggregator index).
+        ranks: world ranks belonging to the partition, ascending.
+        bytes_per_rank: bytes each member rank contributes (ω(i, A)).
+    """
+
+    index: int
+    ranks: tuple[int, ...]
+    bytes_per_rank: dict[int, int]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes aggregated by this partition (ω(A, IO))."""
+        return sum(self.bytes_per_rank.values())
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the partition."""
+        return len(self.ranks)
+
+    def __post_init__(self) -> None:
+        require(len(self.ranks) > 0, "a partition needs at least one rank")
+        require(
+            set(self.bytes_per_rank) == set(self.ranks),
+            "bytes_per_rank keys must match the partition ranks",
+        )
+
+
+def _volumes(workload: Workload, ranks: list[int]) -> dict[int, int]:
+    return {rank: workload.bytes_per_rank(rank) for rank in ranks}
+
+
+def build_partitions(
+    workload: Workload,
+    num_aggregators: int,
+    *,
+    machine: Machine | None = None,
+    mapping: RankMapping | None = None,
+    partition_by: str = "contiguous",
+) -> list[Partition]:
+    """Split the workload's ranks into aggregation partitions.
+
+    Args:
+        workload: the declared I/O workload (provides per-rank volumes).
+        num_aggregators: number of partitions to build.
+        machine: required for ``partition_by="pset"``.
+        mapping: rank-to-node mapping, required for ``partition_by="pset"``.
+        partition_by: ``"contiguous"`` or ``"pset"``.
+
+    Returns:
+        Partitions in ascending rank order; their union is exactly the
+        workload's ranks and they are pairwise disjoint.
+    """
+    require_positive(num_aggregators, "num_aggregators")
+    num_ranks = workload.num_ranks
+    if partition_by == "contiguous":
+        blocks = partition_ranks(num_ranks, num_aggregators)
+        return [
+            Partition(index, tuple(block), _volumes(workload, block))
+            for index, block in enumerate(blocks)
+        ]
+    if partition_by != "pset":
+        raise ValueError(
+            f"partition_by must be 'contiguous' or 'pset', got {partition_by!r}"
+        )
+    if machine is None or mapping is None:
+        raise ValueError("partition_by='pset' requires machine and mapping")
+    # Group ranks by the machine's I/O partition of their node, then split
+    # each group into its share of the aggregators.
+    groups: dict[int, list[int]] = {}
+    for rank in range(num_ranks):
+        node = mapping.node(rank)
+        groups.setdefault(machine.partition_of_node(node), []).append(rank)
+    group_ids = sorted(groups)
+    num_groups = len(group_ids)
+    per_group = max(1, num_aggregators // num_groups)
+    partitions: list[Partition] = []
+    for group_id in group_ids:
+        members = sorted(groups[group_id])
+        for block in partition_ranks(len(members), per_group):
+            ranks = [members[i] for i in block]
+            partitions.append(
+                Partition(len(partitions), tuple(ranks), _volumes(workload, ranks))
+            )
+    return partitions
+
+
+def partition_of_rank(partitions: list[Partition], rank: int) -> Partition:
+    """The partition containing ``rank``.
+
+    Raises:
+        KeyError: if no partition contains the rank.
+    """
+    for partition in partitions:
+        if rank in partition.bytes_per_rank:
+            return partition
+    raise KeyError(f"rank {rank} is not in any partition")

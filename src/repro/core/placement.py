@@ -1,0 +1,171 @@
+"""Aggregator placement strategies.
+
+The paper's strategy ("topology-aware") evaluates the C1+C2 objective for
+every candidate of a partition and elects the minimum via
+``MPI_Allreduce(MINLOC)``.  For the ablation study this module also provides
+the simpler strategies the paper argues against:
+
+* ``"rank-order"`` — the partition's first rank (ROMIO-like);
+* ``"shortest-io"`` — the rank closest to the I/O node, ignoring where the
+  data lives (a C2-only strategy);
+* ``"max-volume"`` — the rank holding the most data, ignoring the topology
+  (a pure data-locality strategy, cf. the Hungarian-assignment related work);
+* ``"random"`` — a seeded random member.
+
+All strategies are pure functions of (partition, topology interface), so the
+same placement is obtained by the analytic model and by the discrete-event
+election (which still performs the actual allreduce for timing fidelity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import AggregationCostModel, CostBreakdown
+from repro.core.partitioning import Partition
+from repro.core.topology_iface import TopologyInterface
+from repro.utils.rng import seeded_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of aggregator placement over all partitions.
+
+    Attributes:
+        strategy: the strategy name used.
+        aggregators: elected aggregator world rank per partition (by index).
+        breakdowns: cost breakdowns per partition for the winning candidate
+            (only populated by the topology-aware and shortest-io strategies).
+    """
+
+    strategy: str
+    aggregators: list[int]
+    breakdowns: dict[int, CostBreakdown] = field(default_factory=dict)
+
+    def aggregator_of(self, partition_index: int) -> int:
+        """Elected aggregator of a partition."""
+        return self.aggregators[partition_index]
+
+    def as_dict(self) -> dict[int, int]:
+        """Mapping partition index -> aggregator world rank."""
+        return dict(enumerate(self.aggregators))
+
+
+def _topology_aware(
+    partition: Partition, model: AggregationCostModel
+) -> tuple[int, CostBreakdown]:
+    winner, breakdowns = model.best_candidate(
+        list(partition.ranks), partition.bytes_per_rank
+    )
+    winning = next(b for b in breakdowns if b.candidate == winner)
+    return winner, winning
+
+
+def _shortest_io(
+    partition: Partition, iface: TopologyInterface
+) -> tuple[int, CostBreakdown]:
+    model = AggregationCostModel(iface)
+    candidates = []
+    for rank in partition.ranks:
+        distance = iface.distance_to_io_node(rank)
+        candidates.append((distance if distance is not None else 0, rank))
+    _distance, winner = min(candidates)
+    return winner, model.evaluate(winner, partition.bytes_per_rank)
+
+
+def _max_volume(partition: Partition) -> int:
+    return max(partition.ranks, key=lambda r: (partition.bytes_per_rank[r], -r))
+
+
+def _node_level_partition(partition: Partition, iface: TopologyInterface) -> Partition:
+    """Collapse a partition to one representative rank per node.
+
+    The cost model only depends on the *nodes* involved (distances,
+    bandwidths) and on per-node volumes, so evaluating one candidate per node
+    is equivalent to evaluating every rank while being quadratically cheaper.
+    This is what the large-scale analytic path uses; the winning node's
+    lowest rank is reported as the aggregator.
+    """
+    volumes_by_node: dict[int, int] = {}
+    representative: dict[int, int] = {}
+    for rank in partition.ranks:
+        node = iface.node_of_rank(rank)
+        volumes_by_node[node] = volumes_by_node.get(node, 0) + partition.bytes_per_rank[rank]
+        if node not in representative or rank < representative[node]:
+            representative[node] = rank
+    ranks = tuple(sorted(representative[node] for node in representative))
+    bytes_per_rank = {
+        representative[node]: volumes_by_node[node] for node in representative
+    }
+    return Partition(partition.index, ranks, bytes_per_rank)
+
+
+def place_aggregators(
+    partitions: list[Partition],
+    iface: TopologyInterface,
+    *,
+    strategy: str = "topology-aware",
+    seed: int | None = None,
+    granularity: str = "rank",
+) -> PlacementResult:
+    """Elect one aggregator per partition with the requested strategy.
+
+    Args:
+        partitions: the aggregation partitions.
+        iface: topology abstraction for the machine and mapping.
+        strategy: one of :data:`repro.core.config.PLACEMENT_STRATEGIES`.
+        seed: RNG seed for the ``"random"`` strategy.
+        granularity: ``"rank"`` evaluates every rank of a partition as a
+            candidate (what the distributed election does); ``"node"``
+            evaluates one candidate per node, which is equivalent under the
+            cost model and is used by the large-scale analytic path.
+    """
+    require(len(partitions) > 0, "no partitions to place aggregators for")
+    require(
+        granularity in ("rank", "node"),
+        f"granularity must be 'rank' or 'node', got {granularity!r}",
+    )
+    model = AggregationCostModel(iface)
+    result = PlacementResult(strategy=strategy, aggregators=[])
+    rng = seeded_rng(seed) if strategy == "random" else None
+    for original in partitions:
+        partition = (
+            _node_level_partition(original, iface)
+            if granularity == "node"
+            else original
+        )
+        if strategy == "topology-aware":
+            winner, breakdown = _topology_aware(partition, model)
+            result.breakdowns[partition.index] = breakdown
+        elif strategy == "shortest-io":
+            winner, breakdown = _shortest_io(partition, iface)
+            result.breakdowns[partition.index] = breakdown
+        elif strategy == "max-volume":
+            winner = _max_volume(partition)
+        elif strategy == "rank-order":
+            winner = partition.ranks[0]
+        elif strategy == "random":
+            assert rng is not None
+            winner = int(partition.ranks[rng.integers(0, partition.size)])
+        else:
+            raise ValueError(f"unknown placement strategy {strategy!r}")
+        result.aggregators.append(winner)
+    return result
+
+
+def placement_cost(
+    placement: PlacementResult,
+    partitions: list[Partition],
+    iface: TopologyInterface,
+) -> float:
+    """Total objective value (sum of C1+C2 over partitions) of a placement.
+
+    Used by tests and ablations to verify that the topology-aware strategy
+    never does worse than the alternatives under the paper's own metric.
+    """
+    model = AggregationCostModel(iface)
+    total = 0.0
+    for partition, aggregator in zip(partitions, placement.aggregators):
+        total += model.evaluate(aggregator, partition.bytes_per_rank).total
+    return total

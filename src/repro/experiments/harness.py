@@ -1,0 +1,57 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import ablations, figures
+from repro.experiments.results import ExperimentResult
+
+#: Registry mapping experiment ids to their reproduction functions.
+EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
+    "fig07": figures.fig07_ior_mira,
+    "fig08": figures.fig08_ior_theta,
+    "fig09": figures.fig09_micro_mira,
+    "fig10": figures.fig10_micro_theta,
+    "table1": figures.table1_buffer_stripe_ratio,
+    "fig11": figures.fig11_hacc_mira_1k,
+    "fig12": figures.fig12_hacc_mira_4k,
+    "fig13": figures.fig13_hacc_theta_1k,
+    "fig14": figures.fig14_hacc_theta_2k,
+    "headline": figures.headline_claims,
+    "ablation_placement": ablations.ablation_placement,
+    "ablation_pipelining": ablations.ablation_pipelining,
+    "ablation_aggregators": ablations.ablation_aggregator_count,
+    "ablation_io_locality": ablations.ablation_io_locality,
+    "ablation_burst_buffer": ablations.ablation_burst_buffer,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, figures first."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, *, scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Args:
+        experiment_id: one of :func:`list_experiments`.
+        scale: node-count divisor (1.0 = the paper's scale).
+
+    Raises:
+        KeyError: for an unknown experiment id.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](scale)
+
+
+def run_all(*, scale: float = 1.0, ids: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Run several (default: all) experiments and return their results by id."""
+    results = {}
+    for experiment_id in ids or list_experiments():
+        results[experiment_id] = run_experiment(experiment_id, scale=scale)
+    return results

@@ -1,0 +1,119 @@
+"""Result containers for reproduced experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One point of a figure series.
+
+    Attributes:
+        x: the x-axis value (data size per rank in MB, or a ratio label...).
+        bandwidth_gbps: the measured/modelled bandwidth in GB/s.
+    """
+
+    x: float
+    bandwidth_gbps: float
+
+
+@dataclass
+class Series:
+    """One curve of a figure (e.g. ``"TAPIOCA AoS"``)."""
+
+    label: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: float, bandwidth_gbps: float) -> None:
+        """Append a point."""
+        self.points.append(SeriesPoint(x, bandwidth_gbps))
+
+    def at(self, x: float) -> float:
+        """Bandwidth at a given x (KeyError if absent)."""
+        for point in self.points:
+            if point.x == x:
+                return point.bandwidth_gbps
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+    def xs(self) -> list[float]:
+        """The x values of the series, in insertion order."""
+        return [p.x for p in self.points]
+
+    def max(self) -> float:
+        """Maximum bandwidth of the series."""
+        return max(p.bandwidth_gbps for p in self.points)
+
+    def min(self) -> float:
+        """Minimum bandwidth of the series."""
+        return min(p.bandwidth_gbps for p in self.points)
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduction of one figure or table.
+
+    Attributes:
+        experiment_id: short identifier (``"fig10"``, ``"table1"``...).
+        title: figure/table caption (abridged).
+        machine: machine name the experiment models.
+        x_label: meaning of the series' x values.
+        series: the curves/rows of the figure/table.
+        checks: named qualitative assertions with their outcomes; the
+            benchmark suite asserts that every check passed.
+        paper_reference: what the paper reports, for EXPERIMENTS.md.
+        notes: free-form commentary (deviations, substitutions).
+    """
+
+    experiment_id: str
+    title: str
+    machine: str
+    x_label: str
+    series: list[Series] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+    paper_reference: str = ""
+    notes: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up a series by its label (KeyError if absent)."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labelled {label!r} in {self.experiment_id}")
+
+    def all_checks_pass(self) -> bool:
+        """Whether every qualitative check passed."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        """Names of the checks that failed."""
+        return [name for name, passed in self.checks.items() if not passed]
+
+    def to_table(self) -> Table:
+        """Render the series as a figure-style table (x vs one column per series)."""
+        headers = [self.x_label] + [series.label for series in self.series]
+        table = Table(headers=headers, title=f"{self.experiment_id}: {self.title}")
+        xs = self.series[0].xs() if self.series else []
+        for x in xs:
+            row: list[object] = [x]
+            for series in self.series:
+                try:
+                    row.append(round(series.at(x), 3))
+                except KeyError:
+                    row.append("-")
+            table.add_row(*row)
+        return table
+
+    def render(self) -> str:
+        """Full text rendering: table, checks and notes."""
+        lines = [self.to_table().render(), ""]
+        lines.append("Checks:")
+        for name, passed in self.checks.items():
+            lines.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+        if self.paper_reference:
+            lines.append(f"Paper reference: {self.paper_reference}")
+        if self.notes:
+            lines.append(f"Notes: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""ROMIO-style MPI I/O baseline.
+
+This package is the comparator the paper measures TAPIOCA against: a
+two-phase collective I/O implementation in the spirit of ROMIO/MPICH with
+
+* the default aggregator selection policy ("the bridge node first, then the
+  other aggregators following rank order", Section IV-B);
+* per-call aggregation — each ``MPI_File_write_at_all`` aggregates and
+  flushes independently, so partially-filled buffers are written out between
+  calls (the limitation illustrated by the paper's Fig. 2);
+* sequential aggregation and I/O phases (no double buffering);
+* the usual MPI-IO hints (``cb_nodes``, ``cb_buffer_size``, striping,
+  lock-mode) with per-platform "baseline" and "optimized" presets matching
+  the tuning study of Figs. 7 and 8.
+
+Both a discrete-event implementation (running on :mod:`repro.simmpi`) and an
+analytic counterpart (in :mod:`repro.perfmodel`) are provided.
+"""
+
+from repro.iolib.hints import MPIIOHints
+from repro.iolib.aggregators import (
+    bridge_first_aggregators,
+    rank_order_aggregators,
+    random_aggregators,
+    select_default_aggregators,
+)
+from repro.iolib.twophase import TwoPhaseCollectiveIO
+from repro.iolib.independent import independent_write_program, independent_read_program
+from repro.iolib.tuning import baseline_hints, optimized_hints
+
+__all__ = [
+    "MPIIOHints",
+    "bridge_first_aggregators",
+    "rank_order_aggregators",
+    "random_aggregators",
+    "select_default_aggregators",
+    "TwoPhaseCollectiveIO",
+    "independent_write_program",
+    "independent_read_program",
+    "baseline_hints",
+    "optimized_hints",
+]

@@ -1,0 +1,37 @@
+"""Machine (platform) models.
+
+A :class:`~repro.machine.machine.Machine` bundles everything TAPIOCA's
+topology abstraction needs to know about a platform: the interconnect
+topology, the compute node description (cores, memory tiers), how compute
+nodes reach the storage system (bridge nodes / I/O nodes on the BG/Q, opaque
+LNET routers on the XC40), and a factory for the file-system performance
+model.
+
+Two concrete machines reproduce the paper's testbeds:
+
+* :class:`~repro.machine.mira.MiraMachine` — IBM BG/Q: 5D torus, Psets of
+  128 nodes sharing one I/O node through two bridge nodes, GPFS.
+* :class:`~repro.machine.theta.ThetaMachine` — Cray XC40: Aries dragonfly,
+  KNL nodes with MCDRAM and node-local SSD, Lustre behind LNET routers whose
+  placement is unknown (so the I/O-distance cost term is unavailable).
+
+:func:`~repro.machine.generic.generic_cluster` builds a fat-tree commodity
+cluster to exercise the architecture-independence of the library.
+"""
+
+from repro.machine.node import MemoryTier, NodeSpec
+from repro.machine.machine import IOGateway, Machine
+from repro.machine.mira import MiraMachine
+from repro.machine.theta import ThetaMachine
+from repro.machine.generic import GenericClusterMachine, generic_cluster
+
+__all__ = [
+    "MemoryTier",
+    "NodeSpec",
+    "IOGateway",
+    "Machine",
+    "MiraMachine",
+    "ThetaMachine",
+    "GenericClusterMachine",
+    "generic_cluster",
+]

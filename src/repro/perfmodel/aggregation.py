@@ -1,0 +1,104 @@
+"""Aggregation-phase timing model.
+
+The time for one aggregation round of one aggregator is the time for its
+partition's senders to deposit ``round_bytes`` into the aggregation buffer.
+The senders operate in parallel, so the round is limited by
+
+* the pipe into the aggregator's node (its narrowest incoming link), shared
+  with however many other aggregation streams cross the same links
+  (contention factor from :mod:`repro.perfmodel.flows`), and
+* the per-message latency of the farthest sender.
+
+Data produced by ranks co-located with the aggregator moves through memory
+instead of the network and is therefore charged at the node's memory
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.machine import Machine
+from repro.perfmodel.flows import FlowAnalysis
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass
+class AggregationPhaseModel:
+    """Computes per-round aggregation (buffer fill) times.
+
+    Args:
+        machine: the platform (topology + node spec).
+        flows: flow analysis of the full aggregation pattern.
+        ranks_per_node: ranks per node (used to estimate the local fraction).
+    """
+
+    machine: Machine
+    flows: FlowAnalysis
+    ranks_per_node: int = 16
+
+    def round_fill_time(
+        self,
+        aggregator_node: int,
+        num_sender_nodes: int,
+        round_bytes: float,
+        *,
+        local_fraction: float | None = None,
+    ) -> float:
+        """Time to fill one aggregation buffer of ``round_bytes`` bytes.
+
+        Args:
+            aggregator_node: node hosting the aggregator.
+            num_sender_nodes: number of distinct sender nodes in the partition.
+            round_bytes: bytes deposited during the round.
+            local_fraction: fraction of the round's data produced on the
+                aggregator's own node; defaults to ``1 / num_sender_nodes``
+                (uniform workloads).
+        """
+        require_non_negative(round_bytes, "round_bytes")
+        require_positive(num_sender_nodes, "num_sender_nodes")
+        if round_bytes == 0:
+            return 0.0
+        if local_fraction is None:
+            local_fraction = 1.0 / num_sender_nodes
+        local_fraction = min(max(local_fraction, 0.0), 1.0)
+        topology = self.machine.topology
+        contention = self.flows.aggregator_contention.get(aggregator_node, 1.0)
+        incoming_bw = self.flows.aggregator_min_bandwidth.get(
+            aggregator_node, topology.link_bandwidth("default")
+        )
+        effective_bw = incoming_bw / max(contention, 1.0)
+        distance = self.flows.aggregator_distance.get(aggregator_node, 1.0)
+        network_bytes = round_bytes * (1.0 - local_fraction)
+        local_bytes = round_bytes * local_fraction
+        memory_bw = self.machine.node_spec.main_memory.bandwidth
+        # The network transfer and the local memory copy overlap; the RMA
+        # latency term is paid once per sender message in the round (senders
+        # are concurrent, so only the per-hop latency of the farthest one is
+        # exposed, plus a small per-message software cost serialised at the
+        # aggregator's NIC).
+        per_message_overhead = 1.0e-6
+        messages = max(1, num_sender_nodes - 1) * max(1, self.ranks_per_node)
+        software = per_message_overhead * messages / max(1, num_sender_nodes)
+        network_time = (
+            topology.latency() * distance + network_bytes / effective_bw + software
+        )
+        local_time = local_bytes / memory_bw
+        return max(network_time, local_time)
+
+    def election_time(self, partition_ranks: int) -> float:
+        """Time of the ``Allreduce(MINLOC)`` aggregator election (one-off)."""
+        if partition_ranks <= 1:
+            return 0.0
+        steps = max(1, math.ceil(math.log2(partition_ranks)))
+        topology = self.machine.topology
+        return steps * (2.0e-6 + topology.latency() * 2.0)
+
+    def collective_overhead(self, num_ranks: int) -> float:
+        """Cost of one small collective over ``num_ranks`` (offset exchange)."""
+        if num_ranks <= 1:
+            return 0.0
+        steps = max(1, math.ceil(math.log2(num_ranks)))
+        topology = self.machine.topology
+        return steps * (2.0e-6 + topology.latency() * 2.0)

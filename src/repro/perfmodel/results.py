@@ -1,0 +1,90 @@
+"""Result containers for the analytic performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.units import bytes_to_mb, format_bandwidth
+
+
+@dataclass
+class PhaseBreakdown:
+    """Time spent in each phase of a collective I/O operation.
+
+    Attributes:
+        aggregation: seconds spent moving data to aggregators (exposed, i.e.
+            not hidden by overlap).
+        io: seconds spent in file-system operations (exposed).
+        overhead: collective/metadata overhead (offset exchanges, elections).
+        overlapped: seconds of I/O hidden behind aggregation by pipelining
+            (informational; not part of the exposed total).
+    """
+
+    aggregation: float = 0.0
+    io: float = 0.0
+    overhead: float = 0.0
+    overlapped: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Exposed wall-clock time of the operation."""
+        return self.aggregation + self.io + self.overhead
+
+    def __add__(self, other: "PhaseBreakdown") -> "PhaseBreakdown":
+        return PhaseBreakdown(
+            aggregation=self.aggregation + other.aggregation,
+            io=self.io + other.io,
+            overhead=self.overhead + other.overhead,
+            overlapped=self.overlapped + other.overlapped,
+        )
+
+
+@dataclass
+class IOEstimate:
+    """Analytic estimate of one collective I/O operation.
+
+    Attributes:
+        method: ``"TAPIOCA"``, ``"MPI I/O"``, ...
+        machine: machine name.
+        workload: workload name.
+        access: ``"write"`` or ``"read"``.
+        total_bytes: bytes moved.
+        phases: exposed-time breakdown.
+        num_aggregators: aggregators used.
+        num_rounds: aggregation rounds (max over partitions / calls).
+        details: free-form extra diagnostics (per-call times, contention...).
+    """
+
+    method: str
+    machine: str
+    workload: str
+    access: str
+    total_bytes: float
+    phases: PhaseBreakdown
+    num_aggregators: int = 0
+    num_rounds: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        """Exposed wall-clock time in seconds."""
+        return self.phases.total
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bandwidth in bytes/s."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.total_bytes / self.elapsed
+
+    def bandwidth_gbps(self) -> float:
+        """Bandwidth in decimal GB/s, as plotted in the paper's figures."""
+        return self.bandwidth / 1e9
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.method:>10s} | {self.workload:<18s} | "
+            f"{bytes_to_mb(self.total_bytes):10.1f} MB | "
+            f"{self.elapsed * 1e3:9.2f} ms | {format_bandwidth(self.bandwidth)}"
+        )

@@ -1,0 +1,132 @@
+"""Burst buffer / node-local SSD tier model.
+
+The paper's future-work section proposes extending TAPIOCA to aggregate data
+through intermediate memory/storage tiers — e.g. staging through MCDRAM and
+node-local SSDs (each Theta KNL node has a 128 GB SSD) before draining to the
+parallel file system.  This module implements that extension's substrate: a
+staging tier with finite capacity, an absorb bandwidth (how fast compute
+nodes can dump into it) and a drain bandwidth (how fast it destages to the
+backing file system).
+
+It follows the same :class:`~repro.storage.base.FileSystemModel` interface so
+the TAPIOCA pipeline and the performance model can target it exactly like
+GPFS or Lustre, and adds the capacity/drain bookkeeping needed by the
+memory-tier aware aggregation in :mod:`repro.core.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.base import FileSystemModel
+from repro.utils.units import GIB, MIB, gbps
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass
+class BurstBufferModel(FileSystemModel):
+    """A node-local SSD / burst-buffer staging tier.
+
+    Attributes:
+        num_devices: number of SSD devices absorbing data (one per aggregator
+            node when used as a TAPIOCA staging target).
+        device_bandwidth: per-device absorb bandwidth, bytes/s (a KNL node
+            SSD sustains roughly 0.5 GBps of sequential writes).
+        device_capacity: per-device capacity in bytes (128 GB on Theta).
+        drain_bandwidth: aggregate bandwidth at which staged data is drained
+            asynchronously to the backing parallel file system, bytes/s.
+        block_size: natural write granularity of the device.
+        write_overhead: fixed per-request overhead in seconds (NVMe command
+            latency, orders of magnitude below a file system RPC).
+    """
+
+    name: str = "BurstBuffer"
+
+    num_devices: int = 1
+    device_bandwidth: float = gbps(0.5)
+    device_capacity: int = 128 * GIB
+    drain_bandwidth: float = gbps(5.0)
+    block_size: int = 1 * MIB
+    write_overhead: float = 50.0e-6
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_devices, "num_devices")
+        require_positive(self.device_bandwidth, "device_bandwidth")
+        require_positive(self.device_capacity, "device_capacity")
+        require_positive(self.drain_bandwidth, "drain_bandwidth")
+        self._staged_bytes = 0.0
+
+    # ------------------------------------------------------------------ #
+    # FileSystemModel interface
+    # ------------------------------------------------------------------ #
+
+    def aggregate_bandwidth(self, streams: int, access: str = "write") -> float:
+        """Devices absorb independently; more streams than devices do not help."""
+        streams = max(1, int(streams))
+        active = min(streams, self.num_devices)
+        return self.device_bandwidth * active
+
+    def operation_overhead(self, access: str = "write") -> float:
+        return self.write_overhead
+
+    def alignment_unit(self) -> int:
+        return self.block_size
+
+    def access_penalty(
+        self,
+        request_size: float,
+        *,
+        aligned: bool,
+        shared_locks: bool,
+        streams: int,
+        access: str = "write",
+    ) -> float:
+        """SSDs have no shared-lock semantics; only small writes pay a penalty."""
+        if request_size >= self.block_size:
+            return 1.0
+        fraction = max(float(request_size) / self.block_size, 1.0 / 64.0)
+        return min(3.0, fraction ** -0.25)
+
+    # ------------------------------------------------------------------ #
+    # Staging bookkeeping (used by the memory-tier extension)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_capacity(self) -> int:
+        """Aggregate capacity across all devices, bytes."""
+        return self.device_capacity * self.num_devices
+
+    @property
+    def staged_bytes(self) -> float:
+        """Bytes currently resident in the burst buffer awaiting drain."""
+        return self._staged_bytes
+
+    def stage(self, nbytes: float) -> None:
+        """Record ``nbytes`` absorbed into the tier.
+
+        Raises:
+            ValueError: if the tier would overflow its capacity.
+        """
+        require_non_negative(nbytes, "nbytes")
+        if self._staged_bytes + nbytes > self.total_capacity:
+            raise ValueError(
+                f"burst buffer overflow: staging {nbytes:.0f} B onto "
+                f"{self._staged_bytes:.0f} B exceeds capacity {self.total_capacity} B"
+            )
+        self._staged_bytes += nbytes
+
+    def drain(self, nbytes: float | None = None) -> float:
+        """Drain ``nbytes`` (default: everything) and return the drain time in seconds."""
+        if nbytes is None:
+            nbytes = self._staged_bytes
+        require_non_negative(nbytes, "nbytes")
+        nbytes = min(nbytes, self._staged_bytes)
+        self._staged_bytes -= nbytes
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.drain_bandwidth
+
+    def drain_time(self, nbytes: float) -> float:
+        """Time to drain ``nbytes`` without mutating the staged amount."""
+        require_non_negative(nbytes, "nbytes")
+        return nbytes / self.drain_bandwidth

@@ -1,0 +1,171 @@
+"""GPFS performance model (Mira / IBM BG/Q).
+
+On Mira, compute nodes do not talk to the storage backend directly: all I/O
+of a 128-node Pset is forwarded by its I/O node, reached through two bridge
+nodes with 2 GBps links each (paper, Fig. 4).  The file system itself (27 PB
+of GPFS) is large enough that, for the node counts in the paper, the per-Pset
+I/O-node pipe is the binding constraint — the paper estimates the peak at
+89.6 GBps for 4,096 nodes, i.e. 2.8 GBps per Pset.
+
+The write path additionally suffers from GPFS *block lock* contention: when
+several clients write into the same GPFS block (8 MiB on Mira), the block's
+token bounces between them and writes are partially serialised.  The
+"optimized" baseline of Fig. 7 enables lock sharing for collective
+operations, which largely removes that penalty; small or unaligned writes
+still pay a read-modify-write cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.base import FileSystemModel, LinearSaturationCurve
+from repro.utils.units import MIB, gbps
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class GPFSModel(FileSystemModel):
+    """Analytic GPFS model parameterised by the Mira numbers.
+
+    Attributes:
+        num_io_nodes: number of I/O nodes (Psets) participating; the peak
+            bandwidth scales linearly with this up to ``backend_bandwidth``.
+        per_ion_bandwidth: effective bandwidth through one I/O node (bytes/s).
+            The paper's 89.6 GBps / 32 Psets estimate gives 2.8 GBps.
+        backend_bandwidth: total GPFS backend capability (bytes/s).  Mira's
+            file system delivered roughly 240 GBps.
+        block_size: GPFS block size; requests aligned to it avoid
+            read-modify-write.
+        write_overhead: fixed per-write-request overhead (seconds).
+        read_overhead: fixed per-read-request overhead (seconds).
+        read_bandwidth_factor: reads achieve a somewhat higher fraction of the
+            pipe than writes (Fig. 7 shows ~7 GBps read vs ~2-6 GBps write on
+            512 nodes).
+        streams_half_saturation: client streams per I/O node needed to reach
+            half of the per-ION bandwidth.
+        subfiling: whether the job writes one file per Pset (the technique
+            recommended on Mira and used for the HACC-IO experiments).  A
+            single file shared across many I/O nodes pays a coordination
+            penalty (``shared_file_efficiency``), which is why the paper's
+            subfiled runs reach ~90% of peak while the shared-file
+            microbenchmark plateaus around 55%.
+        shared_file_efficiency: fraction of the per-ION bandwidth achievable
+            on a single shared file spanning several Psets.
+    """
+
+    name: str = "GPFS"
+
+    num_io_nodes: int = 4
+    per_ion_bandwidth: float = gbps(2.8)
+    backend_bandwidth: float = gbps(240.0)
+    block_size: int = 8 * MIB
+    write_overhead: float = 2.0e-3
+    read_overhead: float = 1.0e-3
+    read_bandwidth_factor: float = 1.3
+    streams_half_saturation: float = 2.0
+    subfiling: bool = False
+    shared_file_efficiency: float = 0.6
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_io_nodes, "num_io_nodes")
+        require_positive(self.per_ion_bandwidth, "per_ion_bandwidth")
+        require_positive(self.backend_bandwidth, "backend_bandwidth")
+        require_positive(self.block_size, "block_size")
+
+    # ------------------------------------------------------------------ #
+    # FileSystemModel interface
+    # ------------------------------------------------------------------ #
+
+    def aggregate_bandwidth(self, streams: int, access: str = "write") -> float:
+        """Peak bandwidth: per-ION pipes in parallel, capped by the backend."""
+        streams = max(1, int(streams))
+        # Client streams are spread over the participating I/O nodes; each
+        # I/O node's pipe saturates with a couple of concurrent streams.
+        streams_per_ion = max(1.0, streams / self.num_io_nodes)
+        curve = LinearSaturationCurve(
+            peak=self.per_ion_bandwidth,
+            half_saturation=self.streams_half_saturation,
+        )
+        per_ion = curve(int(round(streams_per_ion)))
+        if not self.subfiling and self.num_io_nodes > 1:
+            # A single shared file spanning several Psets pays a token/metadata
+            # coordination cost across I/O nodes.
+            per_ion *= self.shared_file_efficiency
+        total = min(per_ion * self.num_io_nodes, self.backend_bandwidth)
+        if access == "read":
+            total = min(
+                total * self.read_bandwidth_factor, self.backend_bandwidth
+            )
+        return total
+
+    def operation_overhead(self, access: str = "write") -> float:
+        return self.write_overhead if access == "write" else self.read_overhead
+
+    def alignment_unit(self) -> int:
+        return self.block_size
+
+    def access_penalty(
+        self,
+        request_size: float,
+        *,
+        aligned: bool,
+        shared_locks: bool,
+        streams: int,
+        access: str = "write",
+    ) -> float:
+        """Block-lock and read-modify-write penalties.
+
+        Reads take no lock penalty.  Writes pay:
+
+        * a read-modify-write factor when unaligned (the smaller the request
+          relative to the block, the worse);
+        * a token-contention factor when lock sharing is disabled and several
+          clients write concurrently (this is the gap between the "baseline"
+          and "optimized" write curves of Fig. 7).
+        """
+        if access == "read":
+            return 1.0
+        penalty = 1.0
+        if not aligned:
+            if request_size >= self.block_size:
+                # Large but unaligned requests only pay read-modify-write on
+                # their first/last blocks.  (ROMIO's GPFS driver additionally
+                # aligns its file domains to block boundaries, so the
+                # baseline rarely ends up here with large requests — this
+                # keeps the Mira microbenchmark parity of Fig. 9.)
+                boundary_fraction = min(1.0, 2.0 * self.block_size / request_size)
+                penalty *= 1.0 + 0.35 * boundary_fraction
+                penalty *= 1.0 + 0.05 * min(6.0, streams / self.num_io_nodes)
+            else:
+                # Small sub-block writes: the whole enclosing block is read,
+                # patched and rewritten, and neighbouring writers falsely
+                # share blocks — the main reason the per-variable flushes of
+                # HACC-IO SoA collapse under plain MPI I/O (Figs. 11-12).
+                fraction = float(request_size) / self.block_size
+                penalty *= 1.0 + 0.6 * (1.0 - fraction) + 0.4
+                penalty *= 1.0 + 0.15 * min(8.0, streams / self.num_io_nodes)
+        if not shared_locks and streams > 1:
+            # Token ping-pong between writers of the same file region.  The
+            # effect saturates: beyond a handful of writers the file system
+            # serialises batches of token hand-offs.
+            penalty *= 1.0 + min(3.0, 0.35 * (streams / self.num_io_nodes))
+        return penalty
+
+    # ------------------------------------------------------------------ #
+    # Mira-specific helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_mira_psets(cls, num_psets: int, **overrides: object) -> "GPFSModel":
+        """A GPFS model scoped to ``num_psets`` Psets of a Mira allocation."""
+        require_positive(num_psets, "num_psets")
+        params: dict[str, object] = {"num_io_nodes": int(num_psets)}
+        params.update(overrides)
+        return cls(**params)  # type: ignore[arg-type]
+
+    def peak_write_bandwidth(self) -> float:
+        """The peak write bandwidth of this allocation (bytes/s)."""
+        return min(
+            self.per_ion_bandwidth * self.num_io_nodes, self.backend_bandwidth
+        )

@@ -1,0 +1,213 @@
+"""Abstract interconnect topology interface.
+
+Every concrete topology (torus, dragonfly, fat tree) implements
+:class:`Topology`.  The interface deliberately mirrors the quantities used in
+the paper's cost model (Section IV-B):
+
+* ``distance(a, b)`` — the number of hops ``d(u, v)``;
+* ``latency()`` — the per-hop link latency ``l``;
+* ``link_bandwidth(link)`` — ``B_{i→j}`` for the link actually traversed;
+* ``route(a, b)`` — the sequence of links a message crosses, which the
+  flow-level performance model uses to count contending flows per link.
+
+Nodes are integers in ``range(num_nodes)``.  Routes may traverse auxiliary
+vertices (switches, routers); these are represented as hashable endpoint
+identifiers so that flow counting does not need to know the topology type.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+#: A route endpoint: either a compute node id (int) or a tagged auxiliary
+#: vertex such as ``("router", 12)`` or ``("switch", 3)``.
+Endpoint = Hashable
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link in the interconnect.
+
+    Attributes:
+        src: source endpoint (node id or tagged auxiliary vertex).
+        dst: destination endpoint.
+        kind: link class, e.g. ``"torus"``, ``"local"`` (electrical),
+            ``"global"`` (optical), ``"injection"`` (node to router/switch).
+        bandwidth: link bandwidth in bytes per second.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    kind: str
+    bandwidth: float
+
+    def reversed(self) -> "Link":
+        """Return the same link in the opposite direction."""
+        return Link(self.dst, self.src, self.kind, self.bandwidth)
+
+    @property
+    def key(self) -> tuple[Endpoint, Endpoint]:
+        """Hashable (src, dst) pair identifying this directed link."""
+        return (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class Route:
+    """The path a message takes between two compute nodes.
+
+    Attributes:
+        src: source node id.
+        dst: destination node id.
+        links: ordered sequence of :class:`Link` traversed.  Empty when the
+            source and destination are the same node (intra-node transfer).
+    """
+
+    src: int
+    dst: int
+    links: tuple[Link, ...]
+
+    @property
+    def hops(self) -> int:
+        """Number of network links traversed."""
+        return len(self.links)
+
+    @property
+    def min_bandwidth(self) -> float:
+        """Bandwidth of the narrowest link on the route (inf for self-routes)."""
+        if not self.links:
+            return float("inf")
+        return min(link.bandwidth for link in self.links)
+
+
+class Topology(abc.ABC):
+    """Abstract base class for interconnect topologies."""
+
+    #: Human readable name, e.g. ``"5D torus"``.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of compute nodes."""
+
+    @abc.abstractmethod
+    def dimensions(self) -> tuple[int, ...]:
+        """Topology dimensions.
+
+        For a torus this is the size of each dimension; other topologies
+        return a descriptive tuple (e.g. ``(groups, routers_per_group,
+        nodes_per_router)`` for a dragonfly).
+        """
+
+    @abc.abstractmethod
+    def coordinates(self, node: int) -> tuple[int, ...]:
+        """Coordinates of ``node`` in the topology's natural coordinate system."""
+
+    @abc.abstractmethod
+    def node_from_coordinates(self, coords: Sequence[int]) -> int:
+        """Inverse of :meth:`coordinates`."""
+
+    @abc.abstractmethod
+    def neighbors(self, node: int) -> list[int]:
+        """Compute nodes directly connected to ``node``.
+
+        For indirect topologies (dragonfly, fat tree) these are the nodes
+        reachable through a single switch/router, i.e. sharing the first-hop
+        device.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Metric quantities used by the cost model
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def distance(self, src: int, dst: int) -> int:
+        """Number of hops ``d(src, dst)`` between two compute nodes."""
+
+    @abc.abstractmethod
+    def route(self, src: int, dst: int) -> Route:
+        """The deterministic (minimal) route between two compute nodes."""
+
+    @abc.abstractmethod
+    def latency(self) -> float:
+        """Per-hop link latency ``l`` in seconds."""
+
+    @abc.abstractmethod
+    def link_bandwidth(self, kind: str = "default") -> float:
+        """Bandwidth in bytes/s of links of class ``kind``.
+
+        ``kind="default"`` returns the bandwidth of the most common
+        node-to-node link class; concrete topologies document their classes.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers (shared implementations)
+    # ------------------------------------------------------------------ #
+
+    def path_bandwidth(self, src: int, dst: int) -> float:
+        """Bandwidth of the narrowest link on the route from src to dst."""
+        if src == dst:
+            return float("inf")
+        return self.route(src, dst).min_bandwidth
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Uncontended time to move ``nbytes`` from ``src`` to ``dst``.
+
+        This is the latency/bandwidth model used by the paper's cost terms:
+        ``l * d(src, dst) + nbytes / B_{src→dst}``.  Intra-node transfers are
+        modelled as free (the cost model only counts network movement).
+        """
+        if src == dst:
+            return 0.0
+        hops = self.distance(src, dst)
+        return self.latency() * hops + float(nbytes) / self.path_bandwidth(src, dst)
+
+    def average_distance(self, nodes: Iterable[int] | None = None) -> float:
+        """Mean pairwise hop distance over ``nodes`` (defaults to all nodes).
+
+        Only intended for small node sets (diagnostics and tests); the cost is
+        quadratic in the number of nodes.
+        """
+        node_list = list(nodes) if nodes is not None else list(range(self.num_nodes))
+        if len(node_list) < 2:
+            return 0.0
+        total = 0
+        count = 0
+        for i, a in enumerate(node_list):
+            for b in node_list[i + 1 :]:
+                total += self.distance(a, b)
+                count += 1
+        return total / count
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the compute-node adjacency as a :class:`networkx.Graph`.
+
+        Auxiliary vertices (routers, switches) are included as tagged nodes so
+        the graph can be used for visualisation or independent verification of
+        distances in tests.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_nodes))
+        for node in range(self.num_nodes):
+            for neighbor in self.neighbors(node):
+                graph.add_edge(node, neighbor)
+        return graph
+
+    def validate_node(self, node: int, name: str = "node") -> int:
+        """Raise ``ValueError`` if ``node`` is not a valid compute node id."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"{name} must be in [0, {self.num_nodes}), got {node!r}"
+            )
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"<{type(self).__name__} {self.name!r} nodes={self.num_nodes}>"

@@ -1,0 +1,109 @@
+"""Rank-to-node mappings.
+
+MPI ranks are placed onto compute nodes by the job launcher.  The mapping
+matters for TAPIOCA because the aggregator election operates on ranks while
+the cost model operates on nodes; it also matters for the ROMIO baseline,
+whose "bridge node first, then rank order" policy produces very different
+node placements depending on the mapping.
+
+Three mappings are provided:
+
+* :func:`block_mapping` — ranks fill a node before moving to the next
+  (``--map-by node:block``); the default on both Mira and Theta.
+* :func:`round_robin_mapping` — ranks are dealt one per node in a cycle
+  (``--map-by node:cyclic``).
+* :func:`random_mapping` — a seeded random permutation, used in tests and in
+  ablations to show the placement policy's sensitivity to the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import seeded_rng
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class RankMapping:
+    """An immutable mapping from MPI ranks to compute nodes.
+
+    Attributes:
+        node_of_rank: ``node_of_rank[r]`` is the node hosting rank ``r``.
+        num_nodes: number of nodes in the allocation (>= max(node_of_rank)+1).
+        ranks_per_node: nominal ranks per node the mapping was built with.
+    """
+
+    node_of_rank: tuple[int, ...]
+    num_nodes: int
+    ranks_per_node: int
+
+    @property
+    def num_ranks(self) -> int:
+        """Total number of MPI ranks."""
+        return len(self.node_of_rank)
+
+    def node(self, rank: int) -> int:
+        """Node hosting ``rank``."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+        return self.node_of_rank[rank]
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All ranks hosted on ``node`` (ascending)."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        return [r for r, n in enumerate(self.node_of_rank) if n == node]
+
+    def nodes_used(self) -> list[int]:
+        """Sorted list of distinct nodes that host at least one rank."""
+        return sorted(set(self.node_of_rank))
+
+    def as_array(self) -> np.ndarray:
+        """The mapping as a NumPy int array (copy)."""
+        return np.asarray(self.node_of_rank, dtype=np.int64)
+
+
+def _validate(num_ranks: int, num_nodes: int, ranks_per_node: int) -> None:
+    require_positive(num_ranks, "num_ranks")
+    require_positive(num_nodes, "num_nodes")
+    require_positive(ranks_per_node, "ranks_per_node")
+    require(
+        num_ranks <= num_nodes * ranks_per_node,
+        f"{num_ranks} ranks do not fit on {num_nodes} nodes "
+        f"with {ranks_per_node} ranks per node",
+    )
+
+
+def block_mapping(num_ranks: int, num_nodes: int, ranks_per_node: int) -> RankMapping:
+    """Block mapping: ranks 0..R-1 fill node 0, then node 1, ..."""
+    _validate(num_ranks, num_nodes, ranks_per_node)
+    nodes = tuple(min(r // ranks_per_node, num_nodes - 1) for r in range(num_ranks))
+    return RankMapping(nodes, num_nodes, ranks_per_node)
+
+
+def round_robin_mapping(
+    num_ranks: int, num_nodes: int, ranks_per_node: int
+) -> RankMapping:
+    """Cyclic mapping: rank ``r`` goes to node ``r % num_nodes``."""
+    _validate(num_ranks, num_nodes, ranks_per_node)
+    nodes = tuple(r % num_nodes for r in range(num_ranks))
+    return RankMapping(nodes, num_nodes, ranks_per_node)
+
+
+def random_mapping(
+    num_ranks: int,
+    num_nodes: int,
+    ranks_per_node: int,
+    *,
+    seed: int | None = None,
+) -> RankMapping:
+    """Random-but-balanced mapping: a seeded shuffle of the block mapping slots."""
+    _validate(num_ranks, num_nodes, ranks_per_node)
+    rng = seeded_rng(seed)
+    slots = [min(i // ranks_per_node, num_nodes - 1) for i in range(num_ranks)]
+    permutation = rng.permutation(len(slots))
+    nodes = tuple(slots[p] for p in permutation)
+    return RankMapping(nodes, num_nodes, ranks_per_node)

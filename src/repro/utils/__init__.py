@@ -1,0 +1,56 @@
+"""Shared utilities for the TAPIOCA reproduction.
+
+The utilities are intentionally dependency-light: unit conversions used
+throughout the performance models, deterministic random-number helpers so
+simulations are reproducible, and small formatting helpers used by the
+experiment harness to print paper-style tables.
+"""
+
+from repro.utils.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    bytes_from_mib,
+    bytes_to_gb,
+    bytes_to_mb,
+    format_bytes,
+    format_bandwidth,
+    gbps,
+    mbps,
+    parse_size,
+)
+from repro.utils.rng import seeded_rng, derive_seed
+from repro.utils.tables import Table
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_non_negative,
+    require_power_of_two,
+)
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "bytes_from_mib",
+    "bytes_to_gb",
+    "bytes_to_mb",
+    "format_bytes",
+    "format_bandwidth",
+    "gbps",
+    "mbps",
+    "parse_size",
+    "seeded_rng",
+    "derive_seed",
+    "Table",
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_power_of_two",
+]

@@ -1,0 +1,209 @@
+"""Workload abstraction shared by the I/O libraries and the performance model.
+
+The key concept mirrors the paper's API difference (Algorithms 1 and 2):
+
+* MPI I/O sees the workload **one collective call at a time** — each call is
+  an independent ``MPI_File_write_at_all`` and the library cannot aggregate
+  across calls;
+* TAPIOCA is **initialised with every segment up front**
+  (``TAPIOCA_Init(count, type, offset, nVar)``) and can therefore schedule
+  aggregation so buffers fill completely before each flush.
+
+A :class:`Workload` exposes both views: :meth:`Workload.calls` (per-call
+segments) and :meth:`Workload.segments_for_rank` (the full per-rank
+declaration).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous piece of file data owned by one rank.
+
+    Attributes:
+        rank: owning MPI rank.
+        offset: absolute byte offset in the shared file.
+        nbytes: segment length in bytes.
+        call_index: index of the collective call this segment belongs to.
+        variable: name of the application variable (diagnostics only).
+    """
+
+    rank: int
+    offset: int
+    nbytes: int
+    call_index: int = 0
+    variable: str = "data"
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.rank, "rank")
+        require_non_negative(self.offset, "offset")
+        require_non_negative(self.nbytes, "nbytes")
+        require_non_negative(self.call_index, "call_index")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the segment."""
+        return self.offset + self.nbytes
+
+
+class Workload(abc.ABC):
+    """Abstract I/O workload.
+
+    Concrete workloads are *uniform across ranks* unless stated otherwise:
+    every rank writes the same amount of data, which matches both IOR and
+    HACC-IO as used in the paper.
+    """
+
+    #: Human readable workload name.
+    name: str = "workload"
+    #: Number of MPI ranks the workload is defined for.
+    num_ranks: int
+    #: Access type: ``"write"`` or ``"read"``.
+    access: str = "write"
+
+    # ------------------------------------------------------------------ #
+    # Structure (must be implemented)
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def num_calls(self) -> int:
+        """Number of collective calls the application issues."""
+
+    @abc.abstractmethod
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        """All segments of ``rank``, in call order."""
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    def calls(self) -> list[list[Segment]]:
+        """Segments grouped by collective call (index = call order).
+
+        The default implementation enumerates every rank; uniform workloads
+        with many ranks may override it, but for the discrete-event path
+        (small rank counts) this is sufficient.
+        """
+        grouped: list[list[Segment]] = [[] for _ in range(self.num_calls())]
+        for rank in range(self.num_ranks):
+            for segment in self.segments_for_rank(rank):
+                grouped[segment.call_index].append(segment)
+        return grouped
+
+    def bytes_per_rank(self, rank: int = 0) -> int:
+        """Total bytes written/read by one rank."""
+        return sum(s.nbytes for s in self.segments_for_rank(rank))
+
+    def total_bytes(self) -> int:
+        """Total bytes moved by all ranks."""
+        return sum(self.bytes_per_rank(rank) for rank in range(self.num_ranks))
+
+    def file_size(self) -> int:
+        """Size of the file image the workload defines (max segment end)."""
+        end = 0
+        for rank in range(self.num_ranks):
+            for segment in self.segments_for_rank(rank):
+                end = max(end, segment.end)
+        return end
+
+    def validate_rank(self, rank: int) -> int:
+        """Raise ``ValueError`` for an out-of-range rank."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(
+                f"rank {rank} out of range [0, {self.num_ranks}) for {self.name}"
+            )
+        return rank
+
+    # ------------------------------------------------------------------ #
+    # Deterministic payloads (for byte-exact verification)
+    # ------------------------------------------------------------------ #
+
+    #: Seed mixed into payload generation; override for distinct instances.
+    payload_seed: int = 0
+
+    def payload(self, segment: Segment) -> bytes:
+        """Deterministic payload bytes for a segment.
+
+        The bytes depend on the owning rank, the call index and the offset,
+        so any misplacement by an I/O library shows up as a content mismatch
+        in the end-to-end tests.
+        """
+        seed = derive_seed(
+            self.payload_seed, self.name, segment.rank, segment.call_index, segment.offset
+        )
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, size=segment.nbytes, dtype=np.uint8).tobytes()
+
+    def expected_file_image(self) -> bytes:
+        """The complete expected file contents (zero-filled holes).
+
+        Only intended for small (test-scale) workloads.
+        """
+        image = bytearray(self.file_size())
+        for rank in range(self.num_ranks):
+            for segment in self.segments_for_rank(rank):
+                image[segment.offset : segment.end] = self.payload(segment)
+        return bytes(image)
+
+    # ------------------------------------------------------------------ #
+    # Uniform-workload helpers used by the analytic model
+    # ------------------------------------------------------------------ #
+
+    def is_uniform(self) -> bool:
+        """Whether every rank moves the same per-call byte counts."""
+        return True
+
+    def segment_sizes_per_call(self) -> list[int]:
+        """Per-rank segment size of each call (uniform workloads)."""
+        reference = self.segments_for_rank(0)
+        sizes = [0] * self.num_calls()
+        for segment in reference:
+            sizes[segment.call_index] += segment.nbytes
+        return sizes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{type(self).__name__} {self.name!r} ranks={self.num_ranks} "
+            f"calls={self.num_calls()} bytes/rank={self.bytes_per_rank(0)}>"
+        )
+
+
+def check_no_overlap(workload: Workload) -> None:
+    """Validate that no two segments of a workload overlap.
+
+    Overlapping segments would make the expected file image ambiguous (the
+    result depends on write ordering); all shipped workloads are
+    non-overlapping and the property-based tests use this check.
+
+    Raises:
+        ValueError: if two segments overlap.
+    """
+    intervals: list[tuple[int, int, int]] = []
+    for rank in range(workload.num_ranks):
+        for segment in workload.segments_for_rank(rank):
+            if segment.nbytes:
+                intervals.append((segment.offset, segment.end, rank))
+    intervals.sort()
+    for (start_a, end_a, rank_a), (start_b, _end_b, rank_b) in zip(
+        intervals, intervals[1:]
+    ):
+        if start_b < end_a:
+            raise ValueError(
+                f"segments overlap: rank {rank_a} [{start_a}, {end_a}) and "
+                f"rank {rank_b} starting at {start_b}"
+            )
+
+
+def require_positive_particles(value: int, name: str) -> int:
+    """Shared validation for particle/element counts."""
+    require_positive(value, name)
+    return int(value)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+The discrete-event tests run on deliberately small machines (tens of nodes,
+a few ranks per node) so the full TAPIOCA / ROMIO protocols execute in
+milliseconds while still exercising every code path (multiple Psets,
+multiple aggregators, multiple rounds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.generic import generic_cluster
+from repro.machine.mira import MiraMachine
+from repro.machine.theta import ThetaMachine
+from repro.simmpi.world import SimWorld
+
+
+@pytest.fixture
+def small_mira() -> MiraMachine:
+    """A 32-node Mira-like machine with 16-node Psets (2 Psets)."""
+    return MiraMachine(32, pset_size=16)
+
+
+@pytest.fixture
+def small_theta() -> ThetaMachine:
+    """A 16-node Theta-like machine (small dragonfly, Lustre defaults)."""
+    return ThetaMachine(16)
+
+
+@pytest.fixture
+def small_cluster():
+    """A 32-node generic fat-tree cluster with known I/O gateways."""
+    return generic_cluster(32, nodes_per_leaf=8, num_gateways=2)
+
+
+@pytest.fixture
+def mira_world(small_mira) -> SimWorld:
+    """A 64-rank world on the small Mira machine (2 ranks per node)."""
+    return SimWorld(small_mira, ranks_per_node=2)
+
+
+@pytest.fixture
+def theta_world(small_theta) -> SimWorld:
+    """A 32-rank world on the small Theta machine (2 ranks per node)."""
+    return SimWorld(small_theta, ranks_per_node=2)

@@ -1,0 +1,69 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig13" in output and "table1" in output
+
+    def test_run_reduced_scale(self, capsys):
+        assert main(["run", "fig10", "--scale", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "TAPIOCA" in output and "PASS" in output
+
+    def test_report(self, tmp_path, capsys):
+        output_file = tmp_path / "exp.md"
+        assert main(["report", "-o", str(output_file), "--scale", "32"]) == 0
+        assert "fig07" in output_file.read_text()
+
+    def test_estimate_theta(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--machine",
+                "theta",
+                "--nodes",
+                "64",
+                "--particles",
+                "5000",
+                "--layout",
+                "soa",
+                "--aggregators",
+                "96",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "TAPIOCA" in output and "speedup" in output
+
+    def test_estimate_mira(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--machine",
+                "mira",
+                "--nodes",
+                "128",
+                "--particles",
+                "5000",
+                "--aggregators",
+                "16",
+            ]
+        )
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Smoke tests: the example scripts run end-to-end and the report generator works."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import generate_report, main as report_main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestExamples:
+    def _run(self, name: str, argv: list[str]) -> None:
+        script = EXAMPLES_DIR / name
+        assert script.exists(), f"example {name} is missing"
+        old_argv = sys.argv
+        sys.argv = [str(script)] + argv
+        try:
+            runpy.run_path(str(script), run_name="__main__")
+        finally:
+            sys.argv = old_argv
+
+    def test_quickstart_runs(self, capsys):
+        self._run("quickstart.py", [])
+        output = capsys.readouterr().out
+        assert "File verified" in output
+        assert "Aggregator placement" in output
+
+    def test_hacc_io_theta_runs_at_small_scale(self, capsys):
+        self._run("hacc_io_theta.py", ["64"])
+        output = capsys.readouterr().out
+        assert "HACC-IO" in output
+        assert "speedup" in output
+
+    def test_buffer_stripe_ratio_runs(self, capsys):
+        self._run("buffer_stripe_ratio.py", [])
+        output = capsys.readouterr().out
+        assert "Best ratio in this reproduction: 1:1" in output
+
+    def test_aggregator_placement_study_runs(self, capsys):
+        self._run("aggregator_placement_study.py", [])
+        output = capsys.readouterr().out
+        assert "topology-aware" in output
+
+
+class TestReportGenerator:
+    def test_generate_report_subset(self):
+        report = generate_report(scale=16.0, ids=["table1"])
+        assert "table1" in report
+        assert "paper vs. reproduction" in report
+        assert "- [x]" in report  # at least one passing check box
+
+    def test_cli_writes_file(self, tmp_path):
+        output = tmp_path / "report.md"
+        code = report_main(
+            ["--scale", "16", "--output", str(output), "--experiment", "fig10"]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "fig10" in text
+
+    def test_unknown_experiment_id_fails(self):
+        with pytest.raises(KeyError):
+            generate_report(scale=16.0, ids=["fig99"])

@@ -1,0 +1,212 @@
+"""Tests for the simulated MPI communicator: point-to-point and collectives."""
+
+import pytest
+
+from repro.machine.mira import MiraMachine
+from repro.simmpi.communicator import ReduceOp
+from repro.simmpi.errors import DeadlockError, RankProgramError, SimMPIError
+from repro.simmpi.world import SimWorld
+
+
+@pytest.fixture
+def world() -> SimWorld:
+    return SimWorld(MiraMachine(16, pset_size=16), ranks_per_node=2)
+
+
+class TestReduceOp:
+    def test_simple_operations(self):
+        assert ReduceOp.combine("sum", [1, 2, 3]) == 6
+        assert ReduceOp.combine("prod", [2, 3, 4]) == 24
+        assert ReduceOp.combine("min", [5, 2, 9]) == 2
+        assert ReduceOp.combine("max", [5, 2, 9]) == 9
+
+    def test_minloc_maxloc(self):
+        pairs = [(3.0, 0), (1.0, 1), (1.0, 2), (7.0, 3)]
+        assert ReduceOp.combine("minloc", pairs) == (1.0, 1)
+        assert ReduceOp.combine("maxloc", pairs) == (7.0, 3)
+
+    def test_minloc_requires_pairs(self):
+        with pytest.raises(SimMPIError):
+            ReduceOp.combine("minloc", [(1.0, 2, 3)])
+
+    def test_unknown_op(self):
+        with pytest.raises(SimMPIError):
+            ReduceOp.combine("xor", [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimMPIError):
+            ReduceOp.combine("sum", [])
+
+
+class TestCollectives:
+    def test_allgather_and_barrier(self, world):
+        def program(ctx):
+            values = yield from ctx.comm.allgather(ctx.rank * 10)
+            yield from ctx.comm.barrier()
+            return values
+
+        result = world.run(program)
+        expected = [r * 10 for r in range(world.num_ranks)]
+        assert all(value == expected for value in result.returns)
+        assert result.elapsed > 0
+
+    def test_bcast(self, world):
+        def program(ctx):
+            value = yield from ctx.comm.bcast("root-data" if ctx.rank == 0 else None)
+            return value
+
+        result = world.run(program)
+        assert all(value == "root-data" for value in result.returns)
+
+    def test_reduce_sum_at_root(self, world):
+        def program(ctx):
+            value = yield from ctx.comm.reduce(ctx.rank, op="sum", root=2)
+            return value
+
+        result = world.run(program)
+        total = sum(range(world.num_ranks))
+        assert result.returns[2] == total
+        assert all(v is None for i, v in enumerate(result.returns) if i != 2)
+
+    def test_allreduce_minloc_election(self, world):
+        def program(ctx):
+            cost = float((ctx.rank * 7) % 5)
+            winner = yield from ctx.comm.allreduce((cost, ctx.rank), op="minloc")
+            return winner
+
+        result = world.run(program)
+        costs = [(float((r * 7) % 5), r) for r in range(world.num_ranks)]
+        expected = min(costs)
+        assert all(value == expected for value in result.returns)
+
+    def test_gather_scatter(self, world):
+        def program(ctx):
+            gathered = yield from ctx.comm.gather(ctx.rank**2, root=0)
+            to_scatter = None
+            if ctx.rank == 0:
+                to_scatter = [value + 1 for value in gathered]
+            received = yield from ctx.comm.scatter(to_scatter, root=0)
+            return received
+
+        result = world.run(program)
+        assert result.returns == [r**2 + 1 for r in range(world.num_ranks)]
+
+    def test_alltoall(self, world):
+        def program(ctx):
+            outgoing = [ctx.rank * 100 + peer for peer in range(ctx.comm.size)]
+            incoming = yield from ctx.comm.alltoall(outgoing)
+            return incoming
+
+        result = world.run(program)
+        for rank, incoming in enumerate(result.returns):
+            assert incoming == [peer * 100 + rank for peer in range(world.num_ranks)]
+
+    def test_scatter_wrong_length_rejected(self, world):
+        def program(ctx):
+            values = [0] * (ctx.comm.size - 1) if ctx.rank == 0 else None
+            yield from ctx.comm.scatter(values, root=0)
+
+        with pytest.raises(RankProgramError):
+            world.run(program)
+
+    def test_collective_name_mismatch_detected(self, world):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.barrier()
+            else:
+                yield from ctx.comm.allgather(1)
+
+        with pytest.raises((RankProgramError, DeadlockError)):
+            world.run(program)
+
+    def test_split_groups_by_color(self, world):
+        def program(ctx):
+            sub = yield from ctx.comm.split(ctx.rank % 2)
+            members = yield from sub.allgather(ctx.rank)
+            return sorted(members)
+
+        result = world.run(program)
+        evens = [r for r in range(world.num_ranks) if r % 2 == 0]
+        odds = [r for r in range(world.num_ranks) if r % 2 == 1]
+        for rank, members in enumerate(result.returns):
+            assert members == (evens if rank % 2 == 0 else odds)
+
+    def test_split_key_reorders_ranks(self, world):
+        def program(ctx):
+            # Reverse ordering within the single colour.
+            sub = yield from ctx.comm.split(0, key=-ctx.rank)
+            return sub.rank
+
+        result = world.run(program)
+        # World rank N-1 has the smallest key so becomes sub-rank 0.
+        assert result.returns[world.num_ranks - 1] == 0
+        assert result.returns[0] == world.num_ranks - 1
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self, world):
+        def program(ctx):
+            size = ctx.comm.size
+            nxt, prev = (ctx.rank + 1) % size, (ctx.rank - 1) % size
+            if ctx.rank % 2 == 0:
+                yield from ctx.comm.send(nxt, f"from {ctx.rank}", nbytes=64)
+                payload, src, _tag = yield from ctx.comm.recv(prev)
+            else:
+                payload, src, _tag = yield from ctx.comm.recv(prev)
+                yield from ctx.comm.send(nxt, f"from {ctx.rank}", nbytes=64)
+            return payload, src
+
+        result = world.run(program)
+        for rank, (payload, src) in enumerate(result.returns):
+            prev = (rank - 1) % world.num_ranks
+            assert payload == f"from {prev}"
+            assert src == prev
+
+    def test_tag_matching(self, world):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, "tag5", nbytes=8, tag=5)
+                yield from ctx.comm.send(1, "tag9", nbytes=8, tag=9)
+            elif ctx.rank == 1:
+                late, _, _ = yield from ctx.comm.recv(src=0, tag=9)
+                early, _, _ = yield from ctx.comm.recv(src=0, tag=5)
+                return (early, late)
+            return None
+
+        result = world.run(program)
+        assert result.returns[1] == ("tag5", "tag9")
+
+    def test_unmatched_recv_deadlocks(self, world):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.recv(src=1)  # never sent
+            return None
+
+        with pytest.raises(DeadlockError):
+            world.run(program)
+
+    def test_larger_messages_take_longer(self):
+        machine = MiraMachine(16, pset_size=16)
+
+        def program_for(nbytes):
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.comm.send(1, b"x", nbytes=nbytes)
+                elif ctx.rank == 1:
+                    yield from ctx.comm.recv(src=0)
+                return None
+
+            return program
+
+        small = SimWorld(machine, ranks_per_node=1).run(program_for(1_000)).elapsed
+        large = SimWorld(machine, ranks_per_node=1).run(program_for(10_000_000)).elapsed
+        assert large > small
+
+    def test_send_to_invalid_rank_rejected(self, world):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(9999, "x", nbytes=8)
+            return None
+
+        with pytest.raises(RankProgramError):
+            world.run(program)

@@ -1,0 +1,252 @@
+"""Tests for the GPFS, Lustre and burst-buffer performance models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.base import IOPhaseProfile, LinearSaturationCurve
+from repro.storage.burst_buffer import BurstBufferModel
+from repro.storage.gpfs import GPFSModel
+from repro.storage.lustre import LustreModel, LustreStripeConfig
+from repro.utils.units import GIB, MIB
+
+
+class TestSaturationCurve:
+    def test_monotone_in_streams(self):
+        curve = LinearSaturationCurve(peak=10.0, half_saturation=2.0)
+        values = [curve(s) for s in range(1, 20)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_half_saturation_point(self):
+        curve = LinearSaturationCurve(peak=10.0, half_saturation=4.0)
+        assert curve(4) == pytest.approx(5.0)
+
+    def test_floor(self):
+        curve = LinearSaturationCurve(peak=10.0, half_saturation=100.0, floor=2.0)
+        assert curve(1) == 2.0
+
+
+class TestIOPhaseProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IOPhaseProfile(total_bytes=-1, streams=1, request_size=1)
+        with pytest.raises(ValueError):
+            IOPhaseProfile(total_bytes=1, streams=0, request_size=1)
+        with pytest.raises(ValueError):
+            IOPhaseProfile(total_bytes=1, streams=1, request_size=1, access="append")
+
+
+class TestGPFSModel:
+    def test_peak_scales_with_io_nodes(self):
+        assert (
+            GPFSModel(num_io_nodes=8).peak_write_bandwidth()
+            == 2 * GPFSModel(num_io_nodes=4).peak_write_bandwidth()
+        )
+
+    def test_backend_cap(self):
+        model = GPFSModel(num_io_nodes=1000)
+        assert model.peak_write_bandwidth() == model.backend_bandwidth
+
+    def test_reads_faster_than_writes(self):
+        model = GPFSModel(num_io_nodes=8)
+        assert model.aggregate_bandwidth(64, "read") > model.aggregate_bandwidth(
+            64, "write"
+        )
+
+    def test_subfiling_beats_shared_file(self):
+        shared = GPFSModel(num_io_nodes=8, subfiling=False)
+        subfiled = GPFSModel(num_io_nodes=8, subfiling=True)
+        assert subfiled.aggregate_bandwidth(64) > shared.aggregate_bandwidth(64)
+
+    def test_unshared_locks_penalty(self):
+        model = GPFSModel(num_io_nodes=4)
+        with_locks = model.access_penalty(
+            16 * MIB, aligned=True, shared_locks=True, streams=64
+        )
+        without_locks = model.access_penalty(
+            16 * MIB, aligned=True, shared_locks=False, streams=64
+        )
+        assert without_locks > with_locks == 1.0
+
+    def test_small_unaligned_writes_penalised_more(self):
+        model = GPFSModel(num_io_nodes=4)
+        small = model.access_penalty(
+            1 * MIB, aligned=False, shared_locks=True, streams=64
+        )
+        large = model.access_penalty(
+            32 * MIB, aligned=False, shared_locks=True, streams=64
+        )
+        assert small > large > 1.0
+
+    def test_reads_take_no_lock_penalty(self):
+        model = GPFSModel(num_io_nodes=4)
+        assert (
+            model.access_penalty(
+                1 * MIB, aligned=False, shared_locks=False, streams=64, access="read"
+            )
+            == 1.0
+        )
+
+    def test_alignment_unit_is_block_size(self):
+        assert GPFSModel().alignment_unit() == 8 * MIB
+
+    def test_phase_time_positive_and_monotone(self):
+        model = GPFSModel(num_io_nodes=8)
+        small = model.phase_time(
+            IOPhaseProfile(total_bytes=1e8, streams=16, request_size=16 * MIB)
+        )
+        large = model.phase_time(
+            IOPhaseProfile(total_bytes=1e9, streams=16, request_size=16 * MIB)
+        )
+        assert 0 < small < large
+
+    def test_operation_time_includes_overhead(self):
+        model = GPFSModel()
+        assert model.operation_time(0) == model.operation_overhead("write")
+
+    def test_for_mira_psets(self):
+        model = GPFSModel.for_mira_psets(32)
+        assert model.num_io_nodes == 32
+        assert model.peak_write_bandwidth() == pytest.approx(89.6e9, rel=0.01)
+
+
+class TestLustreStripeConfig:
+    def test_defaults_match_theta(self):
+        config = LustreStripeConfig.theta_default()
+        assert config.stripe_count == 1
+        assert config.stripe_size == 1 * MIB
+
+    def test_ost_of_offset_round_robin(self):
+        config = LustreStripeConfig(stripe_count=4, stripe_size=1 * MIB)
+        assert config.ost_of_offset(0) == 0
+        assert config.ost_of_offset(1 * MIB) == 1
+        assert config.ost_of_offset(4 * MIB) == 0
+        assert config.ost_of_offset(5 * MIB + 17) == 1
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            LustreStripeConfig().ost_of_offset(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LustreStripeConfig(stripe_count=0)
+
+
+class TestLustreModel:
+    def test_stripe_count_limited_by_osts(self):
+        with pytest.raises(ValueError):
+            LustreModel(num_osts=4, stripe=LustreStripeConfig(stripe_count=8))
+
+    def test_bandwidth_grows_with_stripe_count(self):
+        narrow = LustreModel.theta(LustreStripeConfig(1, 8 * MIB))
+        wide = LustreModel.theta(LustreStripeConfig(48, 8 * MIB))
+        assert wide.aggregate_bandwidth(96) > 10 * narrow.aggregate_bandwidth(96)
+
+    def test_bandwidth_saturates_with_streams(self):
+        model = LustreModel.theta(LustreStripeConfig(48, 8 * MIB))
+        few = model.aggregate_bandwidth(48)
+        many = model.aggregate_bandwidth(48 * 8)
+        way_too_many = model.aggregate_bandwidth(48 * 64)
+        assert few < many <= way_too_many
+        assert way_too_many <= model.lnet_bandwidth
+
+    def test_reads_faster_than_writes(self):
+        model = LustreModel.theta(LustreStripeConfig(48, 8 * MIB))
+        assert model.aggregate_bandwidth(96, "read") > model.aggregate_bandwidth(
+            96, "write"
+        )
+
+    def test_unaligned_write_penalty_grows_with_writers(self):
+        model = LustreModel.theta(LustreStripeConfig(48, 8 * MIB))
+        few = model.access_penalty(8 * MIB, aligned=False, shared_locks=True, streams=48)
+        many = model.access_penalty(8 * MIB, aligned=False, shared_locks=True, streams=384)
+        assert many > few > 1.0
+
+    def test_aligned_full_stripe_write_unpenalised(self):
+        model = LustreModel.theta(LustreStripeConfig(48, 8 * MIB))
+        assert (
+            model.access_penalty(8 * MIB, aligned=True, shared_locks=True, streams=48)
+            == 1.0
+        )
+
+    def test_requests_spanning_stripes_penalised(self):
+        model = LustreModel.theta(LustreStripeConfig(48, 8 * MIB))
+        matched = model.access_penalty(8 * MIB, aligned=True, shared_locks=True, streams=48)
+        spanning = model.access_penalty(32 * MIB, aligned=True, shared_locks=True, streams=48)
+        assert spanning > matched
+
+    def test_small_request_inefficiency(self):
+        model = LustreModel.theta(LustreStripeConfig(48, 8 * MIB))
+        tiny = model.access_penalty(64 * 1024, aligned=True, shared_locks=True, streams=48)
+        assert tiny > 1.0
+
+    def test_with_stripe_preserves_other_parameters(self):
+        base = LustreModel.theta()
+        tuned = base.with_stripe(LustreStripeConfig(48, 16 * MIB))
+        assert tuned.ost_write_bandwidth == base.ost_write_bandwidth
+        assert tuned.stripe.stripe_count == 48
+
+    def test_alignment_unit_is_stripe(self):
+        model = LustreModel.theta(LustreStripeConfig(8, 4 * MIB))
+        assert model.alignment_unit() == 4 * MIB
+
+
+class TestBurstBuffer:
+    def test_bandwidth_scales_with_devices(self):
+        assert (
+            BurstBufferModel(num_devices=8).aggregate_bandwidth(8)
+            == 8 * BurstBufferModel(num_devices=1).aggregate_bandwidth(1)
+        )
+
+    def test_extra_streams_beyond_devices_do_not_help(self):
+        model = BurstBufferModel(num_devices=4)
+        assert model.aggregate_bandwidth(16) == model.aggregate_bandwidth(4)
+
+    def test_stage_and_drain_bookkeeping(self):
+        model = BurstBufferModel(num_devices=2, device_capacity=1 * GIB)
+        model.stage(1 * GIB)
+        assert model.staged_bytes == 1 * GIB
+        drain_time = model.drain()
+        assert model.staged_bytes == 0
+        assert drain_time > 0
+
+    def test_overflow_rejected(self):
+        model = BurstBufferModel(num_devices=1, device_capacity=1 * GIB)
+        with pytest.raises(ValueError):
+            model.stage(2 * GIB)
+
+    def test_small_write_penalty(self):
+        model = BurstBufferModel()
+        assert model.access_penalty(
+            4096, aligned=True, shared_locks=True, streams=1
+        ) > model.access_penalty(4 * MIB, aligned=True, shared_locks=True, streams=1)
+
+
+class TestFileSystemModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        total=st.floats(min_value=1e6, max_value=1e12),
+        streams=st.integers(min_value=1, max_value=1024),
+        request=st.sampled_from([256 * 1024, 1 * MIB, 8 * MIB, 16 * MIB]),
+        aligned=st.booleans(),
+        access=st.sampled_from(["read", "write"]),
+    )
+    def test_phase_time_positive_and_bandwidth_bounded(
+        self, total, streams, request, aligned, access
+    ):
+        """Phase times are positive and never exceed the hardware peak."""
+        for model in (
+            GPFSModel(num_io_nodes=8),
+            LustreModel.theta(LustreStripeConfig(48, 8 * MIB)),
+        ):
+            profile = IOPhaseProfile(
+                total_bytes=total,
+                streams=streams,
+                request_size=request,
+                aligned=aligned,
+                access=access,
+            )
+            elapsed = model.phase_time(profile)
+            assert elapsed > 0
+            observed = profile.total_bytes / elapsed
+            # Effective bandwidth can never exceed the penalty-free peak.
+            assert observed <= model.aggregate_bandwidth(streams, access) * 1.0001
