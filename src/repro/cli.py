@@ -5,7 +5,9 @@ Usage (after ``pip install -e .``)::
     python -m repro list                       # list reproducible experiments
     python -m repro run fig13                  # reproduce one figure/table
     python -m repro run fig13 --scale 8        # reduced-scale quick run
+    python -m repro run-all --jobs 4 --out artifacts/   # parallel sweep + JSON artifacts
     python -m repro report -o EXPERIMENTS.md   # regenerate the full report
+    python -m repro report --from artifacts/ -o EXPERIMENTS.md  # from artifacts only
     python -m repro estimate --machine theta --nodes 1024 \
         --particles 25000 --layout soa         # one-off TAPIOCA vs MPI I/O estimate
 
@@ -22,7 +24,9 @@ from typing import Sequence
 
 from repro.core.config import TapiocaConfig
 from repro.experiments.harness import list_experiments, run_experiment
-from repro.experiments.report import generate_report
+from repro.experiments.report import generate_report, generate_report_from_store
+from repro.experiments.runner import RunOutcome, run_experiments
+from repro.experiments.store import ArtifactStore, git_sha
 from repro.iolib.hints import MPIIOHints
 from repro.machine.mira import MiraMachine
 from repro.machine.theta import ThetaMachine
@@ -46,8 +50,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.all_checks_pass() else 1
 
 
+def _warn_stale_artifacts(store: ArtifactStore) -> None:
+    """Warn when cached artifacts were produced by a different commit.
+
+    The cache is keyed on ``(experiment_id, scale)`` only, so code changes
+    do not invalidate it; surface the provenance gap instead of silently
+    serving results from older code.
+    """
+    try:
+        recorded = store.read_manifest().get("git_sha")
+    except (OSError, ValueError):
+        return
+    current = git_sha()
+    if recorded and current and recorded != current:
+        print(
+            f"warning: artifacts in {store.root} were produced at commit "
+            f"{recorded[:12]} (HEAD is {current[:12]}); pass --no-cache to re-run",
+            file=sys.stderr,
+        )
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.out) if args.out else None
+    if store is not None and not args.no_cache:
+        _warn_stale_artifacts(store)
+
+    def show(outcome: RunOutcome) -> None:
+        status = "PASS" if outcome.result.all_checks_pass() else "FAIL"
+        source = "cached" if outcome.cached else f"{outcome.wall_time_s:6.2f}s"
+        print(f"[{status}] {outcome.experiment_id:<22} {source}")
+
+    report = run_experiments(
+        args.experiments,
+        scale=args.scale,
+        jobs=args.jobs,
+        store=store,
+        use_cache=not args.no_cache,
+        fail_fast=args.fail_fast,
+        on_outcome=show,
+    )
+    ran, hits, failed = report.executed(), report.cache_hits(), report.failed()
+    print(
+        f"{len(report.outcomes)} experiments: {len(ran)} ran, "
+        f"{len(hits)} cache hits, {len(failed)} failed checks"
+    )
+    if store is not None:
+        print(f"artifacts in {store.root} (manifest: {store.manifest_path})")
+    if failed:
+        print(f"failed: {', '.join(failed)}")
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    report = generate_report(scale=args.scale)
+    if args.from_dir:
+        try:
+            report = generate_report_from_store(ArtifactStore(args.from_dir))
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    else:
+        report = generate_report(scale=args.scale)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(report)
     print(f"wrote {args.output}")
@@ -122,9 +185,50 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", type=float, default=1.0, help="node-count divisor")
     run_parser.set_defaults(func=_cmd_run)
 
+    run_all_parser = subparsers.add_parser(
+        "run-all", help="reproduce every figure/table, optionally in parallel"
+    )
+    run_all_parser.add_argument(
+        "--scale", type=float, default=1.0, help="node-count divisor"
+    )
+    run_all_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    run_all_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory for per-experiment JSON + manifest.json",
+    )
+    run_all_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-run experiments even when a matching artifact exists",
+    )
+    run_all_parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop scheduling new experiments after the first failed check",
+    )
+    run_all_parser.add_argument(
+        "--experiment",
+        action="append",
+        dest="experiments",
+        choices=list_experiments(),
+        help="run only the given experiment id(s); may be repeated",
+    )
+    run_all_parser.set_defaults(func=_cmd_run_all)
+
     report_parser = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
     report_parser.add_argument("--scale", type=float, default=1.0)
+    report_parser.add_argument(
+        "--from",
+        dest="from_dir",
+        default=None,
+        metavar="DIR",
+        help="regenerate from a JSON artifact directory instead of re-running",
+    )
     report_parser.set_defaults(func=_cmd_report)
 
     estimate_parser = subparsers.add_parser(

@@ -19,6 +19,8 @@ from repro.experiments.harness import (
     run_experiment,
     run_all,
 )
+from repro.experiments.runner import RunOutcome, RunReport, run_experiments
+from repro.experiments.store import ArtifactStore, from_json, to_json
 
 __all__ = [
     "ExperimentResult",
@@ -28,4 +30,10 @@ __all__ = [
     "list_experiments",
     "run_experiment",
     "run_all",
+    "RunOutcome",
+    "RunReport",
+    "run_experiments",
+    "ArtifactStore",
+    "to_json",
+    "from_json",
 ]

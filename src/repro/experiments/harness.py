@@ -49,9 +49,18 @@ def run_experiment(experiment_id: str, *, scale: float = 1.0) -> ExperimentResul
     return EXPERIMENTS[experiment_id](scale)
 
 
-def run_all(*, scale: float = 1.0, ids: list[str] | None = None) -> dict[str, ExperimentResult]:
-    """Run several (default: all) experiments and return their results by id."""
-    results = {}
-    for experiment_id in ids or list_experiments():
-        results[experiment_id] = run_experiment(experiment_id, scale=scale)
-    return results
+def run_all(
+    *,
+    scale: float = 1.0,
+    ids: list[str] | None = None,
+    jobs: int = 1,
+) -> dict[str, ExperimentResult]:
+    """Run several (default: all) experiments and return their results by id.
+
+    Delegates to :func:`repro.experiments.runner.run_experiments`; with
+    ``jobs > 1`` the experiments execute in parallel worker processes.
+    """
+    # Imported lazily: the runner imports this module for the registry.
+    from repro.experiments.runner import run_experiments
+
+    return run_experiments(ids, scale=scale, jobs=jobs).results()

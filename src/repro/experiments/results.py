@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.utils.tables import Table
@@ -32,9 +33,13 @@ class Series:
         self.points.append(SeriesPoint(x, bandwidth_gbps))
 
     def at(self, x: float) -> float:
-        """Bandwidth at a given x (KeyError if absent)."""
+        """Bandwidth at a given x (KeyError if absent).
+
+        Matching tolerates float rounding (``math.isclose``) so x values
+        derived through scale divisors or JSON round-trips still hit.
+        """
         for point in self.points:
-            if point.x == x:
+            if math.isclose(point.x, x, rel_tol=1e-9, abs_tol=1e-12):
                 return point.bandwidth_gbps
         raise KeyError(f"series {self.label!r} has no point at x={x}")
 

@@ -1,0 +1,225 @@
+"""Parallel experiment execution with artifact persistence.
+
+The registry experiments are pure functions of ``(experiment_id, scale)``,
+so a full sweep is embarrassingly parallel: :func:`run_experiments` fans the
+requested ids out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and the sweep's wall time is bounded by the slowest experiment instead of
+the sum of all of them.
+
+When an :class:`~repro.experiments.store.ArtifactStore` is supplied, each
+finished experiment is persisted as a JSON artifact and — unless caching is
+disabled — experiments whose ``(experiment_id, scale)`` key is already in
+the store are *not* re-run: their stored result is returned as a cache hit.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.results import ExperimentResult
+from repro.experiments.store import ArtifactStore, result_from_dict
+
+
+@dataclass
+class RunOutcome:
+    """The outcome of one experiment within a sweep.
+
+    Attributes:
+        experiment_id: registry id of the experiment.
+        result: the (fresh or cached) reproduction result.
+        wall_time_s: execution wall time; for cache hits, the *original*
+            run's wall time as recorded in the artifact.
+        cached: whether the result came from the artifact store.
+    """
+
+    experiment_id: str
+    result: ExperimentResult
+    wall_time_s: float
+    cached: bool = False
+
+
+@dataclass
+class RunReport:
+    """Aggregate of a sweep: per-experiment outcomes in requested order."""
+
+    outcomes: list[RunOutcome] = field(default_factory=list)
+
+    def results(self) -> dict[str, ExperimentResult]:
+        """Results keyed by experiment id, in requested order."""
+        return {outcome.experiment_id: outcome.result for outcome in self.outcomes}
+
+    def cache_hits(self) -> list[str]:
+        """Ids served from the artifact store."""
+        return [o.experiment_id for o in self.outcomes if o.cached]
+
+    def executed(self) -> list[str]:
+        """Ids actually (re-)simulated."""
+        return [o.experiment_id for o in self.outcomes if not o.cached]
+
+    def failed(self) -> list[str]:
+        """Ids with at least one failed qualitative check."""
+        return [o.experiment_id for o in self.outcomes if not o.result.all_checks_pass()]
+
+    def all_checks_pass(self) -> bool:
+        """Whether every check of every experiment passed."""
+        return not self.failed()
+
+    def total_wall_time_s(self) -> float:
+        """Sum of the executed experiments' wall times (the serial cost)."""
+        return sum(o.wall_time_s for o in self.outcomes if not o.cached)
+
+
+def _execute(experiment_id: str, scale: float) -> tuple[str, ExperimentResult, float]:
+    """Worker entry point: run one experiment and time it (picklable)."""
+    # Imported here so forked/spawned workers resolve the registry themselves.
+    from repro.experiments.harness import run_experiment
+
+    start = time.perf_counter()
+    result = run_experiment(experiment_id, scale=scale)
+    return experiment_id, result, time.perf_counter() - start
+
+
+def run_experiments(
+    ids: list[str] | None = None,
+    *,
+    scale: float = 1.0,
+    jobs: int = 1,
+    store: ArtifactStore | None = None,
+    use_cache: bool = True,
+    fail_fast: bool = False,
+    on_outcome: Callable[[RunOutcome], None] | None = None,
+) -> RunReport:
+    """Run a set of experiments, optionally in parallel and against a store.
+
+    Args:
+        ids: experiment ids to run (default: every registered experiment).
+        scale: node-count divisor forwarded to each experiment.
+        jobs: number of worker processes; ``1`` runs in-process (which keeps
+            monkeypatched registries and debuggers working).
+        store: artifact store to read cached results from and persist fresh
+            results into; ``None`` disables persistence entirely.
+        use_cache: when a store is given, serve ``(id, scale)`` hits from it
+            instead of re-running.
+        fail_fast: stop scheduling new work as soon as one experiment fails
+            a qualitative check (already-running workers finish their
+            current experiment but further ones are cancelled).
+        on_outcome: progress callback invoked for every finished experiment,
+            cache hits included, in completion order.
+
+    Returns:
+        A :class:`RunReport` whose outcomes follow the requested id order
+        (the completion order is intentionally *not* exposed so parallel and
+        sequential sweeps are indistinguishable to callers).
+
+    Raises:
+        KeyError: if any requested id is not registered.
+    """
+    from repro.experiments.harness import EXPERIMENTS, list_experiments
+
+    # Dedupe while preserving order: a repeated id must not run twice in
+    # sequential mode while running once in parallel mode.
+    requested = list(dict.fromkeys(ids if ids is not None else list_experiments()))
+    unknown = [eid for eid in requested if eid not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        )
+
+    outcomes: dict[str, RunOutcome] = {}
+
+    def record(outcome: RunOutcome) -> None:
+        outcomes[outcome.experiment_id] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    # Serve cache hits first — they never cost a worker slot.
+    to_run: list[str] = []
+    for experiment_id in requested:
+        envelope = None
+        if store is not None and use_cache:
+            envelope = store.cached_envelope(experiment_id, scale)
+        if envelope is not None:
+            record(
+                RunOutcome(
+                    experiment_id=experiment_id,
+                    result=result_from_dict(envelope["result"]),
+                    wall_time_s=envelope.get("wall_time_s", 0.0),
+                    cached=True,
+                )
+            )
+        else:
+            to_run.append(experiment_id)
+
+    stop = fail_fast and any(
+        not outcome.result.all_checks_pass() for outcome in outcomes.values()
+    )
+
+    if to_run and not stop:
+        try:
+            if jobs <= 1 or len(to_run) == 1:
+                _run_sequential(to_run, scale, store, fail_fast, record)
+            else:
+                _run_parallel(to_run, scale, jobs, store, fail_fast, record)
+        finally:
+            # Artifacts are saved with the manifest refresh deferred; one
+            # rebuild at the end keeps an N-experiment sweep O(N) reads.
+            if store is not None and any(not o.cached for o in outcomes.values()):
+                store.refresh_manifest()
+
+    return RunReport(
+        outcomes=[outcomes[eid] for eid in requested if eid in outcomes]
+    )
+
+
+def _persist(
+    store: ArtifactStore | None, result: ExperimentResult, scale: float, wall_time_s: float
+) -> None:
+    if store is not None:
+        store.save(result, scale=scale, wall_time_s=wall_time_s, update_manifest=False)
+
+
+def _run_sequential(
+    ids: list[str],
+    scale: float,
+    store: ArtifactStore | None,
+    fail_fast: bool,
+    record: Callable[[RunOutcome], None],
+) -> None:
+    for experiment_id in ids:
+        _, result, wall_time = _execute(experiment_id, scale)
+        _persist(store, result, scale, wall_time)
+        record(RunOutcome(experiment_id, result, wall_time))
+        if fail_fast and not result.all_checks_pass():
+            break
+
+
+def _run_parallel(
+    ids: list[str],
+    scale: float,
+    jobs: int,
+    store: ArtifactStore | None,
+    fail_fast: bool,
+    record: Callable[[RunOutcome], None],
+) -> None:
+    workers = min(jobs, len(ids))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        pending = {executor.submit(_execute, eid, scale) for eid in ids}
+        failed = False
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    experiment_id, result, wall_time = future.result()
+                    _persist(store, result, scale, wall_time)
+                    record(RunOutcome(experiment_id, result, wall_time))
+                    if fail_fast and not result.all_checks_pass():
+                        failed = True
+                if failed:
+                    break
+        finally:
+            for future in pending:
+                future.cancel()

@@ -1,0 +1,305 @@
+"""JSON artifact store for experiment results.
+
+Every experiment run can be persisted as one JSON file per experiment plus
+a ``manifest.json`` describing the whole sweep (experiment id, scale, wall
+time, check outcomes, git SHA).  The store doubles as a content-addressed
+cache keyed on ``(experiment_id, scale)``: re-running an unchanged
+experiment at the same scale is a cache hit and the stored result is
+returned without re-simulating.
+
+The on-disk layout of an artifact directory is::
+
+    artifacts/
+        manifest.json        # sweep-level metadata + per-experiment summary
+        fig07.json           # one envelope per experiment (see ARTIFACT_SCHEMA)
+        fig08.json
+        ...
+
+Artifacts are plain JSON so downstream tooling (CI uploads, notebooks,
+plotting scripts) can consume them without importing this package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments.results import ExperimentResult, Series, SeriesPoint
+
+#: Version stamp embedded in every artifact and manifest so future readers
+#: can detect incompatible layouts.
+ARTIFACT_SCHEMA = 1
+
+#: Name of the sweep-level manifest file inside an artifact directory.
+MANIFEST_NAME = "manifest.json"
+
+
+# ---------------------------------------------------------------------------
+# ExperimentResult <-> JSON
+# ---------------------------------------------------------------------------
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Plain-dict form of an :class:`ExperimentResult` (JSON-serialisable)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "machine": result.machine,
+        "x_label": result.x_label,
+        "series": [
+            {
+                "label": series.label,
+                "points": [
+                    {"x": point.x, "bandwidth_gbps": point.bandwidth_gbps}
+                    for point in series.points
+                ],
+            }
+            for series in result.series
+        ],
+        "checks": dict(result.checks),
+        "paper_reference": result.paper_reference,
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
+    series = [
+        Series(
+            label=entry["label"],
+            points=[
+                SeriesPoint(x=point["x"], bandwidth_gbps=point["bandwidth_gbps"])
+                for point in entry["points"]
+            ],
+        )
+        for entry in payload["series"]
+    ]
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        machine=payload["machine"],
+        x_label=payload["x_label"],
+        series=series,
+        checks=dict(payload["checks"]),
+        paper_reference=payload.get("paper_reference", ""),
+        notes=payload.get("notes", ""),
+    )
+
+
+def to_json(result: ExperimentResult, *, indent: int | None = 2) -> str:
+    """Serialise a result to a JSON string (round-trips via :func:`from_json`)."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> ExperimentResult:
+    """Inverse of :func:`to_json`."""
+    return result_from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Cache keys and git metadata
+# ---------------------------------------------------------------------------
+
+
+def cache_key(experiment_id: str, scale: float) -> str:
+    """Content-address of one experiment run.
+
+    The key is a SHA-256 digest of the canonical ``(experiment_id, scale)``
+    pair; two runs with the same key are by construction the same experiment
+    at the same scale and may share a cached artifact.
+    """
+    canonical = json.dumps(
+        {"experiment_id": experiment_id, "scale": float(scale)}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_sha(repo_dir: Path | str | None = None) -> str | None:
+    """Current git commit SHA, or ``None`` outside a repository."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_dir) if repo_dir is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+# ---------------------------------------------------------------------------
+# Artifact store
+# ---------------------------------------------------------------------------
+
+
+class ArtifactStore:
+    """One-directory JSON store of experiment artifacts.
+
+    Args:
+        root: artifact directory (created lazily on the first write).
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    # -- paths --------------------------------------------------------------
+
+    def artifact_path(self, experiment_id: str) -> Path:
+        """Path of the per-experiment artifact file."""
+        return self.root / f"{experiment_id}.json"
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the sweep-level manifest."""
+        return self.root / MANIFEST_NAME
+
+    # -- write --------------------------------------------------------------
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        """Write via temp file + rename so readers never see a torn file."""
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)
+
+    def save(
+        self,
+        result: ExperimentResult,
+        *,
+        scale: float,
+        wall_time_s: float,
+        update_manifest: bool = True,
+    ) -> Path:
+        """Persist one experiment result and refresh the manifest.
+
+        Returns the path of the written artifact.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "experiment_id": result.experiment_id,
+            "scale": float(scale),
+            "cache_key": cache_key(result.experiment_id, scale),
+            "wall_time_s": wall_time_s,
+            "result": result_to_dict(result),
+        }
+        path = self.artifact_path(result.experiment_id)
+        self._write_atomic(path, json.dumps(envelope, indent=2, sort_keys=True))
+        if update_manifest:
+            self.refresh_manifest()
+        return path
+
+    def refresh_manifest(self) -> None:
+        """Rewrite ``manifest.json`` from the artifacts currently on disk.
+
+        Unreadable or foreign-schema artifacts are skipped rather than
+        poisoning the whole sweep (an interrupted writer must not make
+        every later :meth:`save` crash).
+        """
+        experiments = {}
+        for experiment_id in self.experiment_ids():
+            try:
+                envelope = self.load_envelope(experiment_id)
+            except (OSError, ValueError, KeyError):
+                continue
+            checks = envelope["result"]["checks"]
+            experiments[experiment_id] = {
+                "artifact": self.artifact_path(experiment_id).name,
+                "scale": envelope["scale"],
+                "cache_key": envelope["cache_key"],
+                "wall_time_s": envelope["wall_time_s"],
+                "checks": checks,
+                "all_checks_pass": all(checks.values()),
+            }
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "git_sha": git_sha(),
+            "experiments": experiments,
+        }
+        self._write_atomic(self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True))
+
+    # -- read ---------------------------------------------------------------
+
+    def experiment_ids(self) -> list[str]:
+        """Ids of the experiments with an artifact in the store, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.json")
+            if path.name != MANIFEST_NAME
+        )
+
+    def load_envelope(self, experiment_id: str) -> dict:
+        """The full artifact envelope (schema, scale, wall time, result...)."""
+        path = self.artifact_path(experiment_id)
+        if not path.is_file():
+            raise FileNotFoundError(f"no artifact for {experiment_id!r} in {self.root}")
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        if envelope.get("schema") != ARTIFACT_SCHEMA:
+            raise ValueError(
+                f"artifact {path} has schema {envelope.get('schema')!r}, "
+                f"expected {ARTIFACT_SCHEMA}"
+            )
+        return envelope
+
+    def load(self, experiment_id: str) -> ExperimentResult:
+        """The stored :class:`ExperimentResult` for one experiment."""
+        return result_from_dict(self.load_envelope(experiment_id)["result"])
+
+    def read_manifest(self) -> dict:
+        """The sweep manifest (FileNotFoundError if absent)."""
+        if not self.manifest_path.is_file():
+            raise FileNotFoundError(f"no {MANIFEST_NAME} in {self.root}")
+        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+
+    # -- cache --------------------------------------------------------------
+
+    def cached_envelope(self, experiment_id: str, scale: float) -> dict | None:
+        """The artifact envelope for ``(experiment_id, scale)``, or ``None``.
+
+        A single disk read serves cache-validity, result, and wall time;
+        unreadable or mismatched artifacts are a miss, never an error.
+        """
+        try:
+            envelope = self.load_envelope(experiment_id)
+        except (OSError, ValueError, KeyError):
+            return None
+        if envelope.get("cache_key") != cache_key(experiment_id, scale):
+            return None
+        return envelope
+
+    def has(self, experiment_id: str, scale: float) -> bool:
+        """Whether a cached artifact exists for ``(experiment_id, scale)``."""
+        return self.cached_envelope(experiment_id, scale) is not None
+
+    def load_cached(self, experiment_id: str, scale: float) -> ExperimentResult | None:
+        """The cached result for ``(experiment_id, scale)``, or ``None``."""
+        envelope = self.cached_envelope(experiment_id, scale)
+        return None if envelope is None else result_from_dict(envelope["result"])
+
+    def scales(self) -> list[float]:
+        """Distinct scales of the stored artifacts, sorted."""
+        values: set[float] = set()
+        for experiment_id in self.experiment_ids():
+            values.add(float(self.load_envelope(experiment_id)["scale"]))
+        return sorted(values)
+
+    def prune(self, keep: Iterable[str]) -> list[str]:
+        """Delete artifacts not in ``keep``; returns the removed ids."""
+        keep_set = set(keep)
+        removed = []
+        for experiment_id in self.experiment_ids():
+            if experiment_id not in keep_set:
+                self.artifact_path(experiment_id).unlink()
+                removed.append(experiment_id)
+        if removed:
+            self.refresh_manifest()
+        return removed

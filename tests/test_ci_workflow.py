@@ -1,0 +1,47 @@
+"""Sanity checks for the CI pipeline definition (.github/workflows/ci.yml)."""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    assert WORKFLOW.is_file(), "CI workflow file is missing"
+    return yaml.safe_load(WORKFLOW.read_text(encoding="utf-8"))
+
+
+class TestWorkflowShape:
+    def test_parses_and_has_expected_jobs(self, workflow):
+        assert set(workflow["jobs"]) == {"lint", "tests", "smoke"}
+        # "on" parses as the YAML boolean True in YAML 1.1 readers.
+        triggers = workflow.get("on", workflow.get(True))
+        assert "push" in triggers and "pull_request" in triggers
+
+    def test_every_job_checks_out_and_runs_steps(self, workflow):
+        for name, job in workflow["jobs"].items():
+            steps = job["steps"]
+            assert steps, f"job {name} has no steps"
+            assert any("checkout" in str(s.get("uses", "")) for s in steps), name
+
+    def test_tests_job_runs_tier1_suite(self, workflow):
+        commands = [
+            s.get("run", "") for s in workflow["jobs"]["tests"]["steps"]
+        ]
+        assert any("python -m pytest -x -q" in c for c in commands)
+
+    def test_smoke_job_runs_run_all_and_uploads_artifacts(self, workflow):
+        steps = workflow["jobs"]["smoke"]["steps"]
+        commands = [s.get("run", "") for s in steps]
+        smoke = [c for c in commands if "repro run-all" in c]
+        assert smoke, "smoke job must invoke repro run-all"
+        assert "--scale 8" in smoke[0]
+        assert "--jobs 2" in smoke[0]
+        assert "--out artifacts/" in smoke[0]
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads, "smoke job must upload the artifact directory"
+        assert "manifest.json" in uploads[0]["with"]["path"]
