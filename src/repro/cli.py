@@ -19,11 +19,16 @@ can be regenerated without writing any Python.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
 from repro.core.config import TapiocaConfig
-from repro.experiments.harness import list_experiments, run_experiment
+from repro.experiments.harness import (
+    describe_experiments,
+    list_experiments,
+    run_experiment,
+)
 from repro.experiments.report import generate_report, generate_report_from_store
 from repro.experiments.runner import RunOutcome, run_experiments
 from repro.experiments.store import ArtifactStore, git_sha
@@ -38,9 +43,33 @@ from repro.utils.units import MIB
 from repro.workloads.hacc import HACCIOWorkload
 
 
+def _positive_scale(text: str) -> float:
+    """Argparse type for ``--scale``: a strictly positive, finite divisor."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--scale must be a number, got {text!r}")
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"--scale must be > 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be strictly positive."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text}")
+    return value
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
-    for experiment_id in list_experiments():
-        print(experiment_id)
+    descriptions = describe_experiments()
+    width = max(len(experiment_id) for experiment_id in descriptions)
+    for experiment_id, description in descriptions.items():
+        print(f"{experiment_id:<{width}}  {description}")
     return 0
 
 
@@ -182,17 +211,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="reproduce one figure/table")
     run_parser.add_argument("experiment", choices=list_experiments())
-    run_parser.add_argument("--scale", type=float, default=1.0, help="node-count divisor")
+    run_parser.add_argument(
+        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     run_all_parser = subparsers.add_parser(
         "run-all", help="reproduce every figure/table, optionally in parallel"
     )
     run_all_parser.add_argument(
-        "--scale", type=float, default=1.0, help="node-count divisor"
+        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
     )
     run_all_parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes (1 = in-process)",
     )
     run_all_parser.add_argument(
         "--out",
@@ -221,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_parser = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
-    report_parser.add_argument("--scale", type=float, default=1.0)
+    report_parser.add_argument("--scale", type=_positive_scale, default=1.0)
     report_parser.add_argument(
         "--from",
         dest="from_dir",
@@ -235,12 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
         "estimate", help="one-off TAPIOCA vs MPI I/O estimate (HACC-IO style workload)"
     )
     estimate_parser.add_argument("--machine", choices=("theta", "mira"), default="theta")
-    estimate_parser.add_argument("--nodes", type=int, default=1024)
-    estimate_parser.add_argument("--ranks-per-node", type=int, default=16)
-    estimate_parser.add_argument("--particles", type=int, default=25_000)
+    estimate_parser.add_argument("--nodes", type=_positive_int, default=1024)
+    estimate_parser.add_argument("--ranks-per-node", type=_positive_int, default=16)
+    estimate_parser.add_argument("--particles", type=_positive_int, default=25_000)
     estimate_parser.add_argument("--layout", choices=("aos", "soa"), default="aos")
-    estimate_parser.add_argument("--aggregators", type=int, default=192)
-    estimate_parser.add_argument("--buffer-mib", type=int, default=16)
+    estimate_parser.add_argument("--aggregators", type=_positive_int, default=192)
+    estimate_parser.add_argument("--buffer-mib", type=_positive_int, default=16)
     estimate_parser.set_defaults(func=_cmd_estimate)
     return parser
 

@@ -20,10 +20,25 @@ set to zero, exactly as the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Protocol
 
 from repro.core.topology_iface import TopologyInterface
 from repro.utils.validation import require_non_negative
+
+
+class ContentionFactors(Protocol):
+    """Background-traffic slowdown factors for the cost model.
+
+    When other jobs share the machine, the bandwidth available between two
+    ranks is no longer the link's nominal bandwidth.  Implementations (e.g.
+    :class:`repro.multijob.contention.LinkContentionFactors`) report a
+    multiplicative factor >= 1 describing how many concurrent streams the
+    narrowest link on the route is shared between.
+    """
+
+    def bandwidth_factor(self, src_rank: int, dst_rank: int) -> float:
+        """Sharing factor (>= 1) on the route between two ranks."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -51,10 +66,26 @@ class AggregationCostModel:
 
     Args:
         iface: the topology abstraction for the machine + mapping.
+        contention: optional background-traffic factors from concurrently
+            running jobs; ``None`` (the default) reproduces the paper's
+            dedicated-machine costs exactly.
     """
 
-    def __init__(self, iface: TopologyInterface) -> None:
+    def __init__(
+        self,
+        iface: TopologyInterface,
+        *,
+        contention: ContentionFactors | None = None,
+    ) -> None:
         self.iface = iface
+        self.contention = contention
+
+    def _effective_bandwidth(self, src_rank: int, dst_rank: int) -> float:
+        """Rank-to-rank bandwidth after background contention (bytes/s)."""
+        bandwidth = self.iface.bandwidth_between_ranks(src_rank, dst_rank)
+        if self.contention is not None:
+            bandwidth /= max(1.0, self.contention.bandwidth_factor(src_rank, dst_rank))
+        return bandwidth
 
     # ------------------------------------------------------------------ #
     # Individual terms
@@ -77,7 +108,7 @@ class AggregationCostModel:
                 continue
             require_non_negative(nbytes, f"volume of rank {rank}")
             hops = self.iface.distance_between_ranks(rank, candidate)
-            bandwidth = self.iface.bandwidth_between_ranks(rank, candidate)
+            bandwidth = self._effective_bandwidth(rank, candidate)
             total += latency * hops + float(nbytes) / bandwidth
         return total
 

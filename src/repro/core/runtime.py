@@ -48,6 +48,10 @@ class TapiocaIO:
         path: output file path in the world's file registry.
         filesystem: optional file-system model override (defaults to the
             machine's).
+        contention: optional background-traffic factors from concurrent jobs
+            (:class:`repro.core.cost_model.ContentionFactors`); the elections
+            then weigh candidates by the bandwidth actually left on their
+            links.  ``None`` keeps the dedicated-machine behaviour.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class TapiocaIO:
         *,
         path: str = "/out/tapioca.dat",
         filesystem=None,
+        contention=None,
     ) -> None:
         self.world = world
         self.workload = workload
@@ -91,7 +96,7 @@ class TapiocaIO:
         self.file = world.open_file(
             path, filesystem, shared_locks=self.config.shared_locks
         )
-        self._cost_model = AggregationCostModel(self.iface)
+        self._cost_model = AggregationCostModel(self.iface, contention=contention)
         #: Diagnostics: flush (file write) operations issued by aggregators.
         self.flush_count = 0
         #: Diagnostics: elected aggregator world rank per partition index.

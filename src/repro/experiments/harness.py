@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.experiments import ablations, figures
+from repro.experiments import ablations, figures, interference
 from repro.experiments.results import ExperimentResult
 
 #: Registry mapping experiment ids to their reproduction functions.
@@ -24,12 +24,29 @@ EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
     "ablation_aggregators": ablations.ablation_aggregator_count,
     "ablation_io_locality": ablations.ablation_io_locality,
     "ablation_burst_buffer": ablations.ablation_burst_buffer,
+    "interference_theta_ost": interference.interference_theta_ost,
+    "interference_job_count": interference.interference_job_count,
+    "interference_alloc_policy": interference.interference_alloc_policy,
+    "interference_bb_drain": interference.interference_bb_drain,
 }
 
 
 def list_experiments() -> list[str]:
     """All registered experiment ids, figures first."""
     return list(EXPERIMENTS)
+
+
+def describe_experiments() -> dict[str, str]:
+    """One-line description per experiment id.
+
+    The descriptions come from the registry functions' docstring summaries,
+    so the CLI's ``list`` output stays in lock-step with the code.
+    """
+    descriptions = {}
+    for experiment_id, function in EXPERIMENTS.items():
+        lines = (function.__doc__ or "").strip().splitlines()
+        descriptions[experiment_id] = lines[0].strip() if lines else ""
+    return descriptions
 
 
 def run_experiment(experiment_id: str, *, scale: float = 1.0) -> ExperimentResult:

@@ -1,0 +1,296 @@
+"""Multi-job interference experiments (beyond the paper's dedicated runs).
+
+The paper's Theta measurements were taken on a production machine whose
+Lustre file system and dragonfly interconnect are shared with other jobs;
+the figures therefore embed an operating condition the single-job
+reproductions cannot express.  These experiments use the multi-job subsystem
+(:mod:`repro.multijob`) to put that condition back: several concurrent jobs
+on one machine, with shared-resource bandwidth partitioned by the contention
+ledger, reporting each job's slowdown versus its isolated run.
+
+Like the figure reproductions, every experiment encodes qualitative checks
+that must hold at any ``scale``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import TapiocaConfig
+from repro.experiments.results import ExperimentResult, Series
+from repro.machine.theta import ThetaMachine
+from repro.multijob import JobSpec, MultiJobRuntime
+from repro.storage.burst_buffer import BurstBufferModel
+from repro.utils.units import MB, MIB, gbps
+from repro.utils.validation import require_positive
+from repro.workloads.ior import IORWorkload
+
+#: Per-job stripe width in the OST-sharing scenarios: narrow enough that an
+#: I/O-bound job drives each of its OSTs close to saturation, so sharing the
+#: OST set with a second job visibly binds.
+OST_STRIPE_COUNT = 2
+
+
+def _interference_nodes(scale: float, base: int = 64) -> int:
+    """Per-job node count, scaled down and kept a multiple of a router (4)."""
+    require_positive(scale, "scale")
+    nodes = max(4, int(round(base / scale)))
+    return max(4, (nodes // 4) * 4)
+
+
+def _theta_job(
+    machine: ThetaMachine,
+    name: str,
+    num_nodes: int,
+    *,
+    ost_start: int,
+    mb_per_rank: int = 4,
+    filesystem=None,
+    aggregators: int | None = None,
+) -> JobSpec:
+    """An I/O-bound TAPIOCA job writing through a narrow OST set.
+
+    The default (dense) aggregator count keeps each OST near saturation so
+    storage contention binds; network-focused scenarios pass a sparse count
+    instead, which makes every partition span several nodes and pushes the
+    aggregation traffic onto the interconnect.
+    """
+    ranks = num_nodes * 16
+    stripe = machine.stripe_for_job(
+        ost_start=ost_start, stripe_count=OST_STRIPE_COUNT, stripe_size=8 * MIB
+    )
+    return JobSpec(
+        name=name,
+        num_nodes=num_nodes,
+        workload=IORWorkload(ranks, mb_per_rank * MB),
+        config=TapiocaConfig(
+            num_aggregators=min(32, ranks) if aggregators is None else aggregators,
+            buffer_size=8 * MIB,
+        ),
+        stripe=None if filesystem is not None else stripe,
+        filesystem=filesystem,
+    )
+
+
+def interference_theta_ost(scale: float = 1.0) -> ExperimentResult:
+    """Two-job cross-application I/O on Theta: shared vs disjoint Lustre OSTs."""
+    num_nodes = _interference_nodes(scale)
+    machine = ThetaMachine(2 * num_nodes)
+    result = ExperimentResult(
+        experiment_id="interference_theta_ost",
+        title=(
+            "Two concurrent jobs on Theta: per-job slowdown on shared vs "
+            "disjoint OST sets"
+        ),
+        machine=machine.name,
+        x_label="scenario index",
+        paper_reference=(
+            "Not a paper figure: models the production condition (shared "
+            "Lustre) under which the paper's Theta numbers were collected"
+        ),
+    )
+    series = {
+        "Job A slowdown": Series("Job A slowdown"),
+        "Job B slowdown": Series("Job B slowdown"),
+    }
+    scenarios = [("shared OSTs", (0, 0)), ("disjoint OSTs", (0, OST_STRIPE_COUNT))]
+    reports = {}
+    for index, (label, starts) in enumerate(scenarios):
+        runtime = MultiJobRuntime(
+            machine,
+            [
+                _theta_job(machine, "A", num_nodes, ost_start=starts[0]),
+                _theta_job(machine, "B", num_nodes, ost_start=starts[1]),
+            ],
+        )
+        report = runtime.run()
+        reports[label] = report
+        series["Job A slowdown"].add(index, round(report.outcome_of("A").slowdown, 4))
+        series["Job B slowdown"].add(index, round(report.outcome_of("B").slowdown, 4))
+    result.series = list(series.values())
+    shared = reports["shared OSTs"]
+    disjoint = reports["disjoint OSTs"]
+    result.checks = {
+        "shared OSTs slow both jobs down (> 1.0)": (
+            shared.outcome_of("A").slowdown > 1.05
+            and shared.outcome_of("B").slowdown > 1.05
+        ),
+        "disjoint OSTs leave both jobs unaffected (~1.0)": (
+            disjoint.max_slowdown() <= 1.01
+        ),
+        "the contention ledger conserves bandwidth": (
+            shared.conserves_bandwidth() and disjoint.conserves_bandwidth()
+        ),
+        "the jobs share OST resources only in the shared scenario": (
+            any(key[0] == "lustre-ost" for key in shared.shared_resources[("A", "B")])
+            and not any(
+                key[0] == "lustre-ost"
+                for key in disjoint.shared_resources.get(("A", "B"), [])
+            )
+        ),
+    }
+    result.notes = (
+        "Scenario order: shared OSTs, disjoint OSTs.  Both jobs write "
+        f"through {OST_STRIPE_COUNT} OSTs each; 'disjoint' anchors job B "
+        f"{OST_STRIPE_COUNT} OSTs further (lfs setstripe -i)."
+    )
+    return result
+
+
+def interference_job_count(scale: float = 1.0) -> ExperimentResult:
+    """Per-job slowdown versus the number of co-running jobs on one OST set."""
+    num_nodes = _interference_nodes(scale, base=32)
+    max_jobs = 4
+    machine = ThetaMachine(max_jobs * num_nodes)
+    result = ExperimentResult(
+        experiment_id="interference_job_count",
+        title="Slowdown growth as 1..4 jobs write through the same Lustre OSTs",
+        machine=machine.name,
+        x_label="concurrent jobs",
+        paper_reference=(
+            "Not a paper figure: background-load degradation, in the spirit "
+            "of cluster statistics under background density (Ramella et al.)"
+        ),
+    )
+    worst = Series("worst per-job slowdown")
+    mean = Series("mean per-job slowdown")
+    slowdowns_by_count = {}
+    for count in range(1, max_jobs + 1):
+        specs = [
+            _theta_job(machine, f"J{index}", num_nodes, ost_start=0)
+            for index in range(count)
+        ]
+        report = MultiJobRuntime(machine, specs).run()
+        values = [outcome.slowdown for outcome in report.outcomes]
+        slowdowns_by_count[count] = values
+        worst.add(count, round(max(values), 4))
+        mean.add(count, round(sum(values) / len(values), 4))
+    result.series = [worst, mean]
+    result.checks = {
+        "a single job sees no interference (slowdown ~1.0)": (
+            max(slowdowns_by_count[1]) <= 1.01
+        ),
+        "slowdown never decreases with more co-runners": all(
+            worst.at(count) >= worst.at(count - 1) - 1e-6
+            for count in range(2, max_jobs + 1)
+        ),
+        "four co-runners hurt noticeably more than one (>= 1.5x)": (
+            worst.at(max_jobs) >= 1.5
+        ),
+    }
+    return result
+
+
+def interference_alloc_policy(scale: float = 1.0) -> ExperimentResult:
+    """Cross-job link sharing under contiguous, topology-aware and scattered allocation."""
+    num_nodes = _interference_nodes(scale)
+    machine = ThetaMachine(2 * num_nodes)
+    result = ExperimentResult(
+        experiment_id="interference_alloc_policy",
+        title=(
+            "Dragonfly links shared between two jobs' aggregation traffic, "
+            "per allocation policy"
+        ),
+        machine=machine.name,
+        x_label="policy index",
+        paper_reference=(
+            "Not a paper figure: quantifies why fragmented production "
+            "allocations expose jobs to each other's traffic"
+        ),
+    )
+    policies = ["contiguous", "topology-aware", "scattered"]
+    links = Series("links shared between the jobs")
+    slowdown = Series("worst per-job slowdown")
+    shared_links = {}
+    # Sparse aggregators: each partition spans ~4 nodes, so the aggregation
+    # traffic actually crosses the interconnect and the policies differ.
+    sparse = max(1, num_nodes // 4)
+    for index, policy in enumerate(policies):
+        runtime = MultiJobRuntime(
+            machine,
+            [
+                _theta_job(machine, "A", num_nodes, ost_start=0, aggregators=sparse),
+                _theta_job(
+                    machine,
+                    "B",
+                    num_nodes,
+                    ost_start=OST_STRIPE_COUNT,
+                    aggregators=sparse,
+                ),
+            ],
+            allocation_policy=policy,
+        )
+        sharing = runtime.cross_job_link_sharing()[("A", "B")]
+        shared_links[policy] = sharing
+        links.add(index, float(sharing))
+        slowdown.add(index, round(runtime.run().max_slowdown(), 4))
+    result.series = [links, slowdown]
+    result.checks = {
+        "scattered allocation makes the jobs share links": (
+            shared_links["scattered"] > 0
+        ),
+        "contiguous allocation shares no links": shared_links["contiguous"] == 0,
+        "topology-aware allocation shares no more links than scattered": (
+            shared_links["topology-aware"] <= shared_links["scattered"]
+        ),
+    }
+    result.notes = "Policy order: " + ", ".join(policies)
+    return result
+
+
+def interference_bb_drain(scale: float = 1.0) -> ExperimentResult:
+    """Two jobs staging through burst buffers: shared drain vs dedicated drains."""
+    num_nodes = _interference_nodes(scale)
+    machine = ThetaMachine(2 * num_nodes)
+    result = ExperimentResult(
+        experiment_id="interference_bb_drain",
+        title=(
+            "Burst-buffer staging under co-location: one shared drain vs "
+            "dedicated drains"
+        ),
+        machine=machine.name,
+        x_label="scenario index",
+        paper_reference=(
+            "Not a paper figure: extends the paper's future-work staging "
+            "tier to the multi-tenant case"
+        ),
+    )
+
+    def burst_buffer(name: str) -> BurstBufferModel:
+        return BurstBufferModel(
+            name=name, num_devices=16, drain_bandwidth=gbps(2.0)
+        )
+
+    scenarios = {}
+    shared_tier = burst_buffer("bb-shared")
+    scenarios["shared drain"] = [
+        _theta_job(machine, "A", num_nodes, ost_start=0, filesystem=shared_tier),
+        _theta_job(machine, "B", num_nodes, ost_start=0, filesystem=shared_tier),
+    ]
+    scenarios["dedicated drains"] = [
+        _theta_job(
+            machine, "A", num_nodes, ost_start=0, filesystem=burst_buffer("bb-a")
+        ),
+        _theta_job(
+            machine, "B", num_nodes, ost_start=0, filesystem=burst_buffer("bb-b")
+        ),
+    ]
+    worst = Series("worst per-job slowdown")
+    reports = {}
+    for index, (label, specs) in enumerate(scenarios.items()):
+        report = MultiJobRuntime(machine, specs).run()
+        reports[label] = report
+        worst.add(index, round(report.max_slowdown(), 4))
+    result.series = [worst]
+    result.checks = {
+        "a shared drain slows both jobs down (> 1.0)": all(
+            outcome.slowdown > 1.05 for outcome in reports["shared drain"].outcomes
+        ),
+        "dedicated drains restore isolation (~1.0)": (
+            reports["dedicated drains"].max_slowdown() <= 1.01
+        ),
+        "the ledger conserves drain bandwidth": (
+            reports["shared drain"].conserves_bandwidth()
+            and reports["dedicated drains"].conserves_bandwidth()
+        ),
+    }
+    result.notes = "Scenario order: shared drain, dedicated drains."
+    return result

@@ -107,6 +107,27 @@ class Machine(abc.ABC):
         return gateway.bandwidth
 
     # ------------------------------------------------------------------ #
+    # Multi-job allocation surfaces
+    # ------------------------------------------------------------------ #
+
+    def allocatable_nodes(self) -> list[int]:
+        """Node ids a multi-job allocator may hand out.
+
+        The default offers every node of the allocation; machines with
+        reserved service nodes can override this.
+        """
+        return list(range(self.num_nodes))
+
+    def storage_resources(self, access: str = "write"):
+        """Shared storage resources concurrent jobs on this machine contend for.
+
+        Returns the machine file system's
+        :class:`~repro.storage.base.SharedResource` list; the multi-job
+        contention ledger seeds its capacity table from it.
+        """
+        return self.filesystem().shared_resources(access)
+
+    # ------------------------------------------------------------------ #
     # Subfiling / partition structure
     # ------------------------------------------------------------------ #
 

@@ -96,6 +96,15 @@ class MiraMachine(Machine):
         bridges = [nodes[0], nodes[len(nodes) // 2]]
         return bridges[:MIRA_BRIDGE_NODES_PER_PSET]
 
+    def psets_of_nodes(self, nodes: "list[int]") -> list[int]:
+        """Distinct Pset indices hosting ``nodes`` (ascending).
+
+        A multi-job run uses this to bind a job's allocation to the GPFS
+        I/O-node resources it drives: a job only loads the I/O nodes of the
+        Psets it actually occupies.
+        """
+        return sorted({self.pset_of_node(node) for node in nodes})
+
     def bridge_nodes(self) -> list[int]:
         """All bridge nodes of the allocation."""
         result: list[int] = []

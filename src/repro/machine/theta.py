@@ -94,6 +94,21 @@ class ThetaMachine(Machine):
         """Peak write bandwidth achievable with the configured striping (bytes/s)."""
         return self._lustre.peak_write_bandwidth()
 
+    def stripe_for_job(
+        self, *, ost_start: int, stripe_count: int = 48, stripe_size: int | None = None
+    ) -> LustreStripeConfig:
+        """Striping for one job of a multi-job run, anchored at ``ost_start``.
+
+        Concurrent jobs pick different (or deliberately identical) anchors to
+        land their files on disjoint or shared OST sets; the stripe wraps
+        around the file system's OST count like ``lfs setstripe -i`` does.
+        """
+        return LustreStripeConfig(
+            stripe_count=stripe_count,
+            stripe_size=self.stripe.stripe_size if stripe_size is None else stripe_size,
+            ost_start=ost_start % self._lustre.num_osts,
+        )
+
     def routers_used(self) -> list[int]:
         """Aries routers hosting at least one allocated node."""
         routers = sorted(

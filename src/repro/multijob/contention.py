@@ -1,0 +1,214 @@
+"""Shared-resource contention ledger (max-min fair bandwidth partitioning).
+
+A production machine's interconnect and file system are shared: the paper's
+Theta numbers were collected while other jobs loaded the same Lustre OSTs and
+dragonfly global links.  This module models that sharing as a *ledger* of
+shared resources (each with a saturated capacity in bytes/s) and *flows*
+(jobs) that place weighted demands on subsets of them.
+
+The ledger allocates rates by progressive filling — the classic max-min fair
+algorithm: every unfrozen flow's rate grows at the same speed until either
+the flow reaches its own demand cap (its isolated bandwidth; a dedicated
+machine cannot be beaten) or one of its resources saturates, at which point
+the flow freezes.  By construction the allocation *conserves bandwidth*: on
+every resource the weighted sum of the granted rates never exceeds the
+capacity, which the property tests assert for random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.topology.base import Topology
+from repro.topology.mapping import RankMapping
+from repro.utils.validation import require, require_positive
+
+#: Relative tolerance used when deciding that a resource is saturated or a
+#: flow has reached its demand.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One job's demand on the shared machine.
+
+    Attributes:
+        flow_id: unique identifier (the job name).
+        demand: the flow's rate cap in bytes/s — its isolated bandwidth.
+        weights: per-resource-key fraction of the flow's bytes crossing the
+            resource.  A file striped over 8 OSTs puts weight 1/8 on each;
+            the LNET pipe every byte crosses gets weight 1.
+    """
+
+    flow_id: str
+    demand: float
+    weights: Mapping[tuple, float]
+
+
+@dataclass
+class ContentionLedger:
+    """Capacity bookkeeping for the shared resources of one machine.
+
+    Resources are registered once with their saturated capacity; flows come
+    and go as jobs start and finish.  :meth:`allocate` returns the max-min
+    fair rates of the currently registered (or an explicitly given subset of)
+    flows.
+    """
+
+    resources: dict[tuple, float] = field(default_factory=dict)
+    flows: dict[str, Flow] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def add_resource(self, key: tuple, capacity: float) -> None:
+        """Register a shared resource (idempotent for identical capacity)."""
+        require_positive(capacity, f"capacity of {key!r}")
+        existing = self.resources.get(key)
+        if existing is not None and abs(existing - capacity) > _EPS * existing:
+            raise ValueError(
+                f"resource {key!r} already registered with capacity {existing}, "
+                f"refusing to change it to {capacity}"
+            )
+        self.resources[key] = capacity
+
+    def register_flow(
+        self, flow_id: str, demand: float, weights: Mapping[tuple, float]
+    ) -> Flow:
+        """Register a job's demand; every weighted resource must be known."""
+        require_positive(demand, f"demand of flow {flow_id!r}")
+        require(flow_id not in self.flows, f"flow {flow_id!r} already registered")
+        clean = {}
+        for key, weight in weights.items():
+            if weight <= 0:
+                continue
+            require(
+                key in self.resources,
+                f"flow {flow_id!r} references unregistered resource {key!r}",
+            )
+            clean[key] = float(weight)
+        flow = Flow(flow_id, float(demand), clean)
+        self.flows[flow_id] = flow
+        return flow
+
+    def remove_flow(self, flow_id: str) -> None:
+        """Drop a finished job's flow."""
+        self.flows.pop(flow_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, active: Iterable[str] | None = None) -> dict[str, float]:
+        """Max-min fair rates (bytes/s) for the active flows.
+
+        Args:
+            active: flow ids to allocate for (default: every registered
+                flow).  Jobs that are between I/O phases are simply omitted.
+
+        Returns:
+            Rate per flow id.  The rates satisfy, for every resource ``k``,
+            ``sum_i rate_i * w_ik <= capacity_k`` and, for every flow,
+            ``rate_i <= demand_i``; no flow can raise its rate without
+            lowering that of a flow with a smaller or equal rate.
+        """
+        ids = list(self.flows) if active is None else list(active)
+        for flow_id in ids:
+            require(flow_id in self.flows, f"unknown flow {flow_id!r}")
+        rate = {flow_id: 0.0 for flow_id in ids}
+        used = {key: 0.0 for key in self.resources}
+        unfrozen = set(ids)
+        while unfrozen:
+            # How far can every unfrozen rate rise together?
+            step = min(
+                self.flows[flow_id].demand - rate[flow_id] for flow_id in unfrozen
+            )
+            binding_keys: list[tuple] = []
+            for key, capacity in self.resources.items():
+                weight_sum = sum(
+                    self.flows[flow_id].weights.get(key, 0.0) for flow_id in unfrozen
+                )
+                if weight_sum <= 0.0:
+                    continue
+                headroom = (capacity - used[key]) / weight_sum
+                if headroom < step - _EPS * capacity:
+                    step = max(0.0, headroom)
+                    binding_keys = [key]
+                elif abs(headroom - step) <= _EPS * capacity:
+                    binding_keys.append(key)
+            if step > 0.0:
+                for flow_id in unfrozen:
+                    rate[flow_id] += step
+                    for key, weight in self.flows[flow_id].weights.items():
+                        used[key] += step * weight
+            # Freeze flows that hit their demand or touch a saturated resource.
+            saturated = set(binding_keys)
+            for key, capacity in self.resources.items():
+                if used[key] >= capacity * (1.0 - _EPS):
+                    saturated.add(key)
+            newly_frozen = {
+                flow_id
+                for flow_id in unfrozen
+                if rate[flow_id] >= self.flows[flow_id].demand * (1.0 - _EPS)
+                or any(key in saturated for key in self.flows[flow_id].weights)
+            }
+            if not newly_frozen:
+                # Every remaining flow advanced to its demand cap.
+                break
+            unfrozen -= newly_frozen
+        return rate
+
+    def utilization(self, rates: Mapping[str, float]) -> dict[tuple, float]:
+        """Per-resource bandwidth consumed by ``rates`` (for conservation checks)."""
+        used = {key: 0.0 for key in self.resources}
+        for flow_id, flow_rate in rates.items():
+            for key, weight in self.flows[flow_id].weights.items():
+                used[key] += flow_rate * weight
+        return used
+
+    def shared_between(self, flow_a: str, flow_b: str) -> list[tuple]:
+        """Resource keys two flows both place demand on."""
+        a = self.flows[flow_a].weights
+        b = self.flows[flow_b].weights
+        return sorted(set(a) & set(b), key=repr)
+
+
+class LinkContentionFactors:
+    """Background-traffic factors for the placement cost model.
+
+    Implements :class:`repro.core.cost_model.ContentionFactors` on top of the
+    per-link flow accounting of :meth:`repro.topology.base.Topology.link_loads`:
+    the factor between two ranks is the worst number of *background* flows
+    (other jobs' traffic) sharing any link of the route, plus this job's own
+    stream.
+
+    Args:
+        topology: the machine interconnect.
+        mapping: rank-to-node mapping of the job being placed.
+        background_flows: ``(src_node, dst_node)`` pairs of the other jobs'
+            concurrently active traffic.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        mapping: RankMapping,
+        background_flows: Iterable[tuple[int, int]],
+    ) -> None:
+        self.topology = topology
+        self.mapping = mapping
+        self._loads = topology.link_loads(background_flows)
+
+    def bandwidth_factor(self, src_rank: int, dst_rank: int) -> float:
+        src = self.mapping.node(src_rank)
+        dst = self.mapping.node(dst_rank)
+        if src == dst:
+            return 1.0
+        worst = 0
+        for link in self.topology.route(src, dst).links:
+            load = self._loads.get(link.key)
+            if load is not None:
+                worst = max(worst, load.flows)
+        return 1.0 + float(worst)

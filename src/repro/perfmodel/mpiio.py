@@ -189,6 +189,8 @@ def model_mpiio(
             }
         )
     details["contention"] = flows.mean_contention()
+    details["aggregator_nodes"] = aggregator_nodes
+    details["senders_by_aggregator"] = senders_by_aggregator
     return IOEstimate(
         method=label,
         machine=machine.name,

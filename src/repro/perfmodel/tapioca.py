@@ -171,7 +171,10 @@ def model_tapioca(
         "io_time_per_round": t_io,
         "rounds": rounds,
         "aligned": aligned,
-        "aggregator_nodes": aggregator_nodes[:16],
+        # Full structures (not truncated): the multi-job subsystem derives
+        # each job's per-link network demand from the real flow pattern.
+        "aggregator_nodes": aggregator_nodes,
+        "senders_by_aggregator": senders_by_aggregator,
     }
     return IOEstimate(
         method=label,

@@ -61,6 +61,28 @@ class IOPhaseProfile:
         require_positive(self.distinct_files, "distinct_files")
 
 
+@dataclass(frozen=True)
+class SharedResource:
+    """One storage-side resource concurrent jobs contend for.
+
+    The multi-job contention ledger registers these with their saturated
+    capacity and partitions that capacity among the jobs whose files touch
+    them.
+
+    Attributes:
+        key: hashable identifier, e.g. ``("lustre-ost", 12)`` or
+            ``("gpfs-backend",)``.  Keys are global to the machine, so two
+            jobs whose files land on the same OST produce the same key.
+        capacity: saturated bandwidth of the resource in bytes/s.
+    """
+
+    key: tuple
+    capacity: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity, "capacity")
+
+
 @dataclass
 class StorageTarget:
     """A physical storage endpoint (an I/O node, an OST...).
@@ -182,6 +204,21 @@ class FileSystemModel(abc.ABC):
             access=access,
         )
         return self.operation_overhead(access) + nbytes * penalty / per_stream
+
+    def shared_resources(self, access: str = "write") -> list[SharedResource]:
+        """Shared resources of this file system (multi-job contention).
+
+        Concrete models enumerate their real sharing surfaces (OSTs and LNET
+        routers for Lustre, I/O nodes and the backend for GPFS, the drain
+        pipe for a burst buffer).  The default is a single aggregate pipe at
+        the saturated bandwidth, which is correct for any model without finer
+        structure: two jobs on it simply split the total.
+        """
+        return [
+            SharedResource(
+                ("fs", self.name), self.aggregate_bandwidth(1 << 20, access)
+            )
+        ]
 
     def is_aligned(self, offset: int, nbytes: float) -> bool:
         """Whether a request starts and ends on the alignment boundary."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.storage.base import FileSystemModel
+from repro.storage.base import FileSystemModel, SharedResource
 from repro.utils.units import GIB, MIB, gbps
 from repro.utils.validation import require_non_negative, require_positive
 
@@ -86,6 +86,18 @@ class BurstBufferModel(FileSystemModel):
             return 1.0
         fraction = max(float(request_size) / self.block_size, 1.0 / 64.0)
         return min(3.0, fraction ** -0.25)
+
+    def shared_resources(self, access: str = "write") -> list[SharedResource]:
+        """The asynchronous drain pipe into the backing file system.
+
+        The drain is the binding shared resource when several jobs stage
+        through the same burst buffer: devices absorb independently (each
+        aggregator writes its own SSD), so everything that contends funnels
+        through the drain.  The key carries the tier's ``name`` so jobs
+        staging through *dedicated* burst buffers (distinctly named
+        instances) do not falsely contend.
+        """
+        return [SharedResource(("bb-drain", self.name), self.drain_bandwidth)]
 
     # ------------------------------------------------------------------ #
     # Staging bookkeeping (used by the memory-tier extension)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.storage.base import FileSystemModel, LinearSaturationCurve
+from repro.storage.base import FileSystemModel, LinearSaturationCurve, SharedResource
 from repro.utils.units import MIB, gbps
 from repro.utils.validation import require_positive
 
@@ -151,6 +151,22 @@ class GPFSModel(FileSystemModel):
             # serialises batches of token hand-offs.
             penalty *= 1.0 + min(3.0, 0.35 * (streams / self.num_io_nodes))
         return penalty
+
+    def shared_resources(self, access: str = "write") -> list[SharedResource]:
+        """Per-I/O-node pipes plus the GPFS backend.
+
+        I/O-node keys are indexed by Pset, so concurrent jobs on disjoint
+        Psets only meet at the shared ``("gpfs-backend",)`` resource — which
+        is exactly how cross-application interference manifests on the BG/Q
+        (the compute partitions themselves are electrically isolated).
+        """
+        factor = self.read_bandwidth_factor if access == "read" else 1.0
+        resources = [
+            SharedResource(("gpfs-ion", index), self.per_ion_bandwidth * factor)
+            for index in range(self.num_io_nodes)
+        ]
+        resources.append(SharedResource(("gpfs-backend",), self.backend_bandwidth))
+        return resources
 
     # ------------------------------------------------------------------ #
     # Mira-specific helpers

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.storage.base import FileSystemModel, LinearSaturationCurve
+from repro.storage.base import FileSystemModel, LinearSaturationCurve, SharedResource
 from repro.utils.units import MIB, gbps
 from repro.utils.validation import require, require_positive
 
@@ -30,14 +30,21 @@ class LustreStripeConfig:
     Attributes:
         stripe_count: number of OSTs the file is striped over.
         stripe_size: size of each stripe in bytes.
+        ost_start: index of the first OST of the file's stripe set
+            (``lfs setstripe -i``).  Single-job runs leave the default 0;
+            multi-job scenarios use it to place concurrent jobs' files on
+            shared or disjoint OST sets.
     """
 
     stripe_count: int = 1
     stripe_size: int = 1 * MIB
+    ost_start: int = 0
 
     def __post_init__(self) -> None:
         require_positive(self.stripe_count, "stripe_count")
         require_positive(self.stripe_size, "stripe_size")
+        if self.ost_start < 0:
+            raise ValueError(f"ost_start must be >= 0, got {self.ost_start}")
 
     def ost_of_offset(self, offset: int) -> int:
         """Index (0-based, within the file's OST set) holding ``offset``."""
@@ -117,6 +124,13 @@ class LustreModel(FileSystemModel):
     def ost_of_offset(self, offset: int) -> int:
         """OST index (within the file's stripe set) holding byte ``offset``."""
         return self.stripe.ost_of_offset(offset)
+
+    def ost_indices(self) -> list[int]:
+        """Global indices of the OSTs the configured file is striped over."""
+        return [
+            (self.stripe.ost_start + k) % self.num_osts
+            for k in range(self.stripe.stripe_count)
+        ]
 
     # ------------------------------------------------------------------ #
     # FileSystemModel interface
@@ -208,6 +222,23 @@ class LustreModel(FileSystemModel):
         # f^0.35 of the streaming efficiency: 1 MiB requests on an 8 MiB
         # stripe reach ~50%, 64 KiB requests ~20%.
         return min(6.0, fraction ** -0.35)
+
+    def shared_resources(self, access: str = "write") -> list[SharedResource]:
+        """Every OST plus the LNET router pool, at saturated capacities.
+
+        These are machine-wide resources: two jobs whose files stripe over
+        the same OST index contend on the same ``("lustre-ost", i)`` entry,
+        and every job's traffic crosses the shared ``("lustre-lnet",)`` pipe.
+        """
+        per_ost = (
+            self.ost_write_bandwidth if access == "write" else self.ost_read_bandwidth
+        )
+        resources = [
+            SharedResource(("lustre-ost", index), per_ost)
+            for index in range(self.num_osts)
+        ]
+        resources.append(SharedResource(("lustre-lnet",), self.lnet_bandwidth))
+        return resources
 
     # ------------------------------------------------------------------ #
     # Theta-specific helpers

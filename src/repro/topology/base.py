@@ -56,6 +56,19 @@ class Link:
 
 
 @dataclass(frozen=True)
+class LinkLoad:
+    """Flow count on one directed link (per-link flow accounting).
+
+    Attributes:
+        link: the directed link.
+        flows: number of flows whose deterministic route traverses it.
+    """
+
+    link: Link
+    flows: int
+
+
+@dataclass(frozen=True)
 class Route:
     """The path a message takes between two compute nodes.
 
@@ -169,6 +182,32 @@ class Topology(abc.ABC):
             return 0.0
         hops = self.distance(src, dst)
         return self.latency() * hops + float(nbytes) / self.path_bandwidth(src, dst)
+
+    def link_loads(
+        self, flows: Iterable[tuple[int, int]]
+    ) -> dict[tuple[Endpoint, Endpoint], LinkLoad]:
+        """Per-link flow accounting over the deterministic routes of ``flows``.
+
+        Args:
+            flows: ``(src, dst)`` node pairs; self-flows are ignored (they do
+                not touch the network).
+
+        Returns:
+            Mapping from directed link key to the :class:`LinkLoad` counting
+            how many of the given flows traverse that link.  This is the
+            primitive the multi-job contention ledger uses to decide which
+            links two concurrent jobs share.
+        """
+        loads: dict[tuple[Endpoint, Endpoint], LinkLoad] = {}
+        for src, dst in flows:
+            if src == dst:
+                continue
+            for link in self.route(src, dst).links:
+                current = loads.get(link.key)
+                loads[link.key] = LinkLoad(
+                    link, 1 if current is None else current.flows + 1
+                )
+        return loads
 
     def average_distance(self, nodes: Iterable[int] | None = None) -> float:
         """Mean pairwise hop distance over ``nodes`` (defaults to all nodes).

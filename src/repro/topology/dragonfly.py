@@ -18,9 +18,9 @@ and global links.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
-from repro.topology.base import Link, Route, Topology
+from repro.topology.base import Endpoint, Link, LinkLoad, Route, Topology
 from repro.utils.units import gbps
 from repro.utils.validation import require, require_positive
 
@@ -221,6 +221,23 @@ class DragonflyTopology(Topology):
             Link(("router", router_dst), dst, "ejection", self._injection_bw)
         )
         return Route(src, dst, tuple(links))
+
+    def global_link_loads(
+        self, flows: Iterable[tuple[int, int]]
+    ) -> dict[tuple[Endpoint, Endpoint], LinkLoad]:
+        """Flow accounting restricted to the scarce optical inter-group links.
+
+        The dragonfly's global links are the resource concurrent jobs are
+        most likely to fight over (each group pair is served by a single
+        optical link in this model).  Analysis/diagnostics helper: the
+        contention ledger itself consumes the full :meth:`link_loads`
+        accounting; this view isolates the optical subset of it.
+        """
+        return {
+            key: load
+            for key, load in self.link_loads(flows).items()
+            if load.link.kind == "global"
+        }
 
     def latency(self) -> float:
         return self._latency

@@ -19,6 +19,7 @@ Three mappings are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -91,6 +92,53 @@ def round_robin_mapping(
     _validate(num_ranks, num_nodes, ranks_per_node)
     nodes = tuple(r % num_nodes for r in range(num_ranks))
     return RankMapping(nodes, num_nodes, ranks_per_node)
+
+
+def allocation_mapping(
+    num_ranks: int,
+    nodes: Sequence[int],
+    *,
+    num_nodes: int | None = None,
+    ranks_per_node: int = 16,
+) -> RankMapping:
+    """Block mapping onto an explicit, possibly non-contiguous node allocation.
+
+    This is the mapping shape a multi-job node allocator produces: a job's
+    ranks fill the allocation's nodes in order, but the node ids themselves
+    are whatever the allocator handed out — scattered across the machine for
+    the ``scattered`` policy, router-aligned for the topology-aware one.
+
+    Args:
+        num_ranks: number of MPI ranks of the job.
+        nodes: distinct node ids allocated to the job, in fill order.
+        num_nodes: total nodes of the *machine* the ids index into (defaults
+            to ``max(nodes) + 1``); kept so rank→node lookups stay valid for
+            machine-wide queries.
+        ranks_per_node: ranks placed on each allocated node.
+    """
+    require_positive(num_ranks, "num_ranks")
+    require_positive(ranks_per_node, "ranks_per_node")
+    node_list = [int(n) for n in nodes]
+    require(len(node_list) > 0, "allocation has no nodes")
+    require(
+        len(set(node_list)) == len(node_list),
+        "allocation contains duplicate node ids",
+    )
+    require(
+        num_ranks <= len(node_list) * ranks_per_node,
+        f"{num_ranks} ranks do not fit on {len(node_list)} allocated nodes "
+        f"with {ranks_per_node} ranks per node",
+    )
+    total = max(node_list) + 1 if num_nodes is None else int(num_nodes)
+    require(
+        all(0 <= n < total for n in node_list),
+        f"allocation node ids must be in [0, {total})",
+    )
+    node_of_rank = tuple(
+        node_list[min(r // ranks_per_node, len(node_list) - 1)]
+        for r in range(num_ranks)
+    )
+    return RankMapping(node_of_rank, total, ranks_per_node)
 
 
 def random_mapping(

@@ -11,7 +11,7 @@ measures).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.topology.base import Link, Route, Topology
 from repro.utils.units import gbps
@@ -166,6 +166,28 @@ class TorusTopology(Topology):
         if kind in ("default", "torus"):
             return self._bandwidth
         raise ValueError(f"unknown link kind {kind!r} for a torus")
+
+    def links_within(self, nodes: Iterable[int]) -> list[Link]:
+        """Directed torus links with both endpoints inside ``nodes``.
+
+        These are the links a torus *partition* owns outright: traffic
+        between two members of a contiguous sub-box allocation stays on them
+        (minimal ring routing never leaves a box smaller than half of each
+        ring), so a contiguous allocation shares no links with other jobs,
+        while scattered allocations own far fewer internal links than their
+        traffic needs.  Analysis/diagnostics helper (the contention ledger
+        consumes :meth:`link_loads` instead); tests use it to prove the
+        sub-box isolation property.
+        """
+        member = set(nodes)
+        for node in member:
+            self.validate_node(node)
+        links: list[Link] = []
+        for node in sorted(member):
+            for neighbor in self.neighbors(node):
+                if neighbor in member:
+                    links.append(Link(node, neighbor, "torus", self._bandwidth))
+        return links
 
     # ------------------------------------------------------------------ #
     # Convenience constructors

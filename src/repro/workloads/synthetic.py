@@ -9,9 +9,15 @@ check that the aggregation round scheduling and the MPI-IO semantics hold for
 
 from __future__ import annotations
 
-from repro.utils.rng import seeded_rng
+from repro.utils.rng import derive_seed, seeded_rng
 from repro.utils.validation import require_positive
 from repro.workloads.base import Segment, Workload
+
+#: Substream name for the synthetic workload's jitter draws.  Hashing it into
+#: the seed gives this component its own RNG stream, so unrelated additions
+#: (e.g. multi-job scheduling drawing from the base stream) cannot perturb
+#: existing single-job results through RNG call-order changes.
+_RNG_SUBSTREAM = "workloads.synthetic"
 
 
 class SyntheticWorkload(Workload):
@@ -45,7 +51,7 @@ class SyntheticWorkload(Workload):
         require_positive(max_segment_bytes, "max_segment_bytes")
         require_positive(calls, "calls")
         self._calls = int(calls)
-        rng = seeded_rng(seed)
+        rng = seeded_rng(derive_seed(seed, _RNG_SUBSTREAM))
         minimum = 0 if allow_empty else 1
         self._segments: dict[int, list[Segment]] = {r: [] for r in range(num_ranks)}
         offset = 0

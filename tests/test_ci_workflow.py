@@ -34,6 +34,27 @@ class TestWorkflowShape:
         ]
         assert any("python -m pytest -x -q" in c for c in commands)
 
+    def test_every_job_caches_pip(self, workflow):
+        for name, job in workflow["jobs"].items():
+            setup = [
+                s for s in job["steps"] if "setup-python" in str(s.get("uses", ""))
+            ]
+            assert setup, f"job {name} does not set up python"
+            assert setup[0]["with"].get("cache") == "pip", name
+            assert "cache-dependency-path" in setup[0]["with"], name
+
+    def test_smoke_job_gates_on_an_interference_experiment(self, workflow):
+        commands = [
+            s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]
+        ]
+        interference = [
+            c
+            for c in commands
+            if "--experiment interference_" in c or "repro run interference_" in c
+        ]
+        assert interference, "smoke job must gate on an interference_* experiment"
+        assert "--scale 8" in interference[0]
+
     def test_smoke_job_runs_run_all_and_uploads_artifacts(self, workflow):
         steps = workflow["jobs"]["smoke"]["steps"]
         commands = [s.get("run", "") for s in steps]

@@ -14,12 +14,40 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig99"])
 
+    @pytest.mark.parametrize("scale", ["0", "-1", "-0.5", "nan", "inf", "nan-ish"])
+    @pytest.mark.parametrize(
+        "command",
+        [["run", "fig10"], ["run-all"], ["report"]],
+    )
+    def test_rejects_non_positive_scale(self, command, scale, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([*command, "--scale", scale])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+        assert "--scale" in capsys.readouterr().err
+
+    def test_estimate_rejects_non_positive_counts(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--nodes", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--particles", "-5"])
+
 
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "fig13" in output and "table1" in output
+
+    def test_list_shows_one_line_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        by_id = {line.split()[0]: line for line in lines}
+        # Every line carries a description beyond the bare id.
+        for line in lines:
+            assert len(line.split(None, 1)) == 2, f"missing description: {line!r}"
+        assert "interference_theta_ost" in by_id
+        assert "shared vs disjoint" in by_id["interference_theta_ost"]
+        assert "Fig. 13" in by_id["fig13"]
 
     def test_run_reduced_scale(self, capsys):
         assert main(["run", "fig10", "--scale", "16"]) == 0

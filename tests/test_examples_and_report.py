@@ -39,6 +39,12 @@ class TestExamples:
         output = capsys.readouterr().out
         assert "Best ratio in this reproduction: 1:1" in output
 
+    def test_two_job_interference_runs(self, capsys):
+        self._run("two_job_interference.py", ["8"])
+        output = capsys.readouterr().out
+        assert "shared OSTs" in output and "disjoint OSTs" in output
+        assert "bandwidth conserved: True" in output
+
     def test_aggregator_placement_study_runs(self, capsys):
         self._run("aggregator_placement_study.py", [])
         output = capsys.readouterr().out

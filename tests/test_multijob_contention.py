@@ -1,0 +1,177 @@
+"""Property tests for the contention ledger and link contention factors."""
+
+import pytest
+
+from repro.multijob.contention import ContentionLedger, LinkContentionFactors
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.mapping import block_mapping
+from repro.utils.rng import seeded_rng
+
+
+def build_random_instance(rng, num_resources: int, num_flows: int) -> ContentionLedger:
+    ledger = ContentionLedger()
+    keys = [("res", index) for index in range(num_resources)]
+    for key in keys:
+        ledger.add_resource(key, float(rng.uniform(0.5, 20.0)))
+    for flow_index in range(num_flows):
+        touched = rng.choice(
+            num_resources, size=int(rng.integers(1, num_resources + 1)), replace=False
+        )
+        weights = {keys[k]: float(rng.uniform(0.05, 1.0)) for k in touched}
+        ledger.register_flow(
+            f"flow{flow_index}", float(rng.uniform(0.1, 30.0)), weights
+        )
+    return ledger
+
+
+class TestLedgerProperties:
+    def test_conservation_and_demand_caps_on_random_instances(self):
+        rng = seeded_rng(7)
+        for _ in range(50):
+            num_resources = int(rng.integers(1, 6))
+            num_flows = int(rng.integers(1, 8))
+            ledger = build_random_instance(rng, num_resources, num_flows)
+            rates = ledger.allocate()
+            # Bandwidth conservation: no resource is allocated beyond capacity.
+            for key, used in ledger.utilization(rates).items():
+                assert used <= ledger.resources[key] * (1.0 + 1e-6)
+            # No flow exceeds its own demand.
+            for flow_id, rate in rates.items():
+                assert rate <= ledger.flows[flow_id].demand * (1.0 + 1e-6)
+                assert rate >= 0.0
+
+    def test_allocation_is_work_conserving(self):
+        """Every flow is limited by its demand or by a saturated resource."""
+        rng = seeded_rng(11)
+        for _ in range(25):
+            ledger = build_random_instance(
+                rng, int(rng.integers(1, 5)), int(rng.integers(1, 6))
+            )
+            rates = ledger.allocate()
+            used = ledger.utilization(rates)
+            for flow_id, rate in rates.items():
+                flow = ledger.flows[flow_id]
+                at_demand = rate >= flow.demand * (1.0 - 1e-6)
+                at_bottleneck = any(
+                    used[key] >= ledger.resources[key] * (1.0 - 1e-6)
+                    for key in flow.weights
+                )
+                assert at_demand or at_bottleneck
+
+    def test_single_flow_gets_min_of_demand_and_capacity(self):
+        ledger = ContentionLedger()
+        ledger.add_resource(("pipe",), 4.0)
+        ledger.register_flow("a", 10.0, {("pipe",): 1.0})
+        assert ledger.allocate() == {"a": pytest.approx(4.0)}
+        ledger.remove_flow("a")
+        ledger.register_flow("a", 3.0, {("pipe",): 1.0})
+        assert ledger.allocate() == {"a": pytest.approx(3.0)}
+
+    def test_equal_flows_split_a_resource_evenly(self):
+        ledger = ContentionLedger()
+        ledger.add_resource(("ost", 0), 6.0)
+        for name in ("a", "b", "c"):
+            ledger.register_flow(name, 10.0, {("ost", 0): 1.0})
+        rates = ledger.allocate()
+        for name in ("a", "b", "c"):
+            assert rates[name] == pytest.approx(2.0)
+
+    def test_max_min_fairness_protects_small_flows(self):
+        """A small flow keeps its demand; big flows split the remainder."""
+        ledger = ContentionLedger()
+        ledger.add_resource(("pipe",), 10.0)
+        ledger.register_flow("small", 1.0, {("pipe",): 1.0})
+        ledger.register_flow("big1", 100.0, {("pipe",): 1.0})
+        ledger.register_flow("big2", 100.0, {("pipe",): 1.0})
+        rates = ledger.allocate()
+        assert rates["small"] == pytest.approx(1.0)
+        assert rates["big1"] == pytest.approx(4.5)
+        assert rates["big2"] == pytest.approx(4.5)
+
+    def test_disjoint_resources_do_not_interact(self):
+        ledger = ContentionLedger()
+        ledger.add_resource(("ost", 0), 2.0)
+        ledger.add_resource(("ost", 1), 2.0)
+        ledger.register_flow("a", 5.0, {("ost", 0): 1.0})
+        ledger.register_flow("b", 5.0, {("ost", 1): 1.0})
+        rates = ledger.allocate()
+        assert rates["a"] == pytest.approx(2.0)
+        assert rates["b"] == pytest.approx(2.0)
+
+    def test_weighted_demand_consumes_proportionally(self):
+        """A file striped over two OSTs puts half its rate on each."""
+        ledger = ContentionLedger()
+        ledger.add_resource(("ost", 0), 1.0)
+        ledger.add_resource(("ost", 1), 1.0)
+        ledger.register_flow("a", 100.0, {("ost", 0): 0.5, ("ost", 1): 0.5})
+        rates = ledger.allocate()
+        assert rates["a"] == pytest.approx(2.0)
+        used = ledger.utilization(rates)
+        assert used[("ost", 0)] == pytest.approx(1.0)
+
+    def test_active_subset_allocation(self):
+        ledger = ContentionLedger()
+        ledger.add_resource(("pipe",), 4.0)
+        ledger.register_flow("a", 10.0, {("pipe",): 1.0})
+        ledger.register_flow("b", 10.0, {("pipe",): 1.0})
+        assert ledger.allocate(["a"]) == {"a": pytest.approx(4.0)}
+        both = ledger.allocate()
+        assert both["a"] == pytest.approx(2.0)
+        assert both["b"] == pytest.approx(2.0)
+
+
+class TestLedgerValidation:
+    def test_rejects_capacity_change(self):
+        ledger = ContentionLedger()
+        ledger.add_resource(("pipe",), 4.0)
+        ledger.add_resource(("pipe",), 4.0)  # idempotent
+        with pytest.raises(ValueError):
+            ledger.add_resource(("pipe",), 5.0)
+
+    def test_rejects_unknown_resource_and_duplicate_flow(self):
+        ledger = ContentionLedger()
+        ledger.add_resource(("pipe",), 4.0)
+        with pytest.raises(ValueError):
+            ledger.register_flow("a", 1.0, {("nope",): 1.0})
+        ledger.register_flow("a", 1.0, {("pipe",): 1.0})
+        with pytest.raises(ValueError):
+            ledger.register_flow("a", 1.0, {("pipe",): 1.0})
+
+    def test_shared_between(self):
+        ledger = ContentionLedger()
+        ledger.add_resource(("ost", 0), 1.0)
+        ledger.add_resource(("ost", 1), 1.0)
+        ledger.register_flow("a", 1.0, {("ost", 0): 1.0, ("ost", 1): 1.0})
+        ledger.register_flow("b", 1.0, {("ost", 1): 1.0})
+        assert ledger.shared_between("a", "b") == [("ost", 1)]
+
+
+class TestLinkContentionFactors:
+    def test_background_traffic_raises_the_factor(self):
+        topology = DragonflyTopology(groups=2, routers_per_group=2, nodes_per_router=2)
+        mapping = block_mapping(topology.num_nodes, topology.num_nodes, 1)
+        quiet = LinkContentionFactors(topology, mapping, [])
+        # Background flow crossing the same inter-group link as rank 0 -> 7.
+        busy = LinkContentionFactors(topology, mapping, [(1, 6)])
+        assert quiet.bandwidth_factor(0, 7) == 1.0
+        assert busy.bandwidth_factor(0, 7) > 1.0
+        # Same-node transfers are never slowed down.
+        assert busy.bandwidth_factor(0, 0) == 1.0
+
+    def test_cost_model_accepts_contention(self, small_theta):
+        from repro.core.cost_model import AggregationCostModel
+        from repro.core.topology_iface import TopologyInterface
+
+        mapping = block_mapping(16, small_theta.num_nodes, 2)
+        iface = TopologyInterface(small_theta, mapping)
+        volumes = {rank: 1024 for rank in range(8)}
+        baseline = AggregationCostModel(iface).evaluate(0, volumes)
+        # Saturate every link with background flows; costs must not decrease.
+        flows = [(a, b) for a in range(8) for b in range(8) if a != b]
+        contention = LinkContentionFactors(
+            small_theta.topology, mapping, flows
+        )
+        loaded = AggregationCostModel(iface, contention=contention).evaluate(
+            0, volumes
+        )
+        assert loaded.total >= baseline.total

@@ -1,0 +1,247 @@
+"""Tests for the multi-job subsystem: allocator, job binding, fluid runtime."""
+
+import pytest
+
+from repro.core.config import TapiocaConfig
+from repro.machine.mira import MiraMachine
+from repro.machine.theta import ThetaMachine
+from repro.multijob import JobSpec, MultiJobRuntime, NodeAllocator
+from repro.multijob.job import bind_job
+from repro.storage.burst_buffer import BurstBufferModel
+from repro.utils.units import MB, MIB, gbps
+from repro.workloads.ior import IORWorkload
+
+
+def theta_spec(
+    machine,
+    name,
+    num_nodes,
+    *,
+    ost_start=0,
+    stripe_count=2,
+    mb_per_rank=4,
+    ranks_per_node=16,
+    aggregators=None,
+    **spec_kwargs,
+):
+    """An I/O-bound TAPIOCA job writing through a narrow OST set."""
+    ranks = num_nodes * ranks_per_node
+    spec_kwargs.setdefault(
+        "stripe",
+        machine.stripe_for_job(
+            ost_start=ost_start, stripe_count=stripe_count, stripe_size=8 * MIB
+        ),
+    )
+    return JobSpec(
+        name=name,
+        num_nodes=num_nodes,
+        workload=IORWorkload(ranks, mb_per_rank * MB),
+        ranks_per_node=ranks_per_node,
+        config=TapiocaConfig(
+            num_aggregators=min(32, ranks) if aggregators is None else aggregators,
+            buffer_size=8 * MIB,
+        ),
+        **spec_kwargs,
+    )
+
+
+class TestNodeAllocator:
+    def test_contiguous_packs_lowest_ids(self):
+        machine = ThetaMachine(16)
+        allocator = NodeAllocator(machine, "contiguous")
+        first = allocator.allocate("a", 6)
+        second = allocator.allocate("b", 6)
+        assert first.nodes == tuple(range(6))
+        assert second.nodes == tuple(range(6, 12))
+
+    def test_scattered_produces_non_contiguous_allocations(self):
+        machine = ThetaMachine(32)
+        allocator = NodeAllocator(machine, "scattered")
+        allocation = allocator.allocate("a", 8)
+        gaps = [b - a for a, b in zip(allocation.nodes, allocation.nodes[1:])]
+        assert any(gap > 1 for gap in gaps), allocation.nodes
+        # The second job's nodes interleave with the first job's.
+        other = allocator.allocate("b", 8)
+        assert min(other.nodes) < max(allocation.nodes)
+
+    def test_topology_aware_fills_whole_routers(self):
+        machine = ThetaMachine(32)
+        topology = machine.topology
+        allocator = NodeAllocator(machine, "topology-aware")
+        allocation = allocator.allocate("a", 8)
+        routers = {topology.router_of(node) for node in allocation.nodes}
+        # 8 nodes at 4 nodes/router need exactly 2 routers when router-aligned.
+        assert len(routers) == 2
+
+    def test_release_returns_nodes(self):
+        machine = ThetaMachine(16)
+        allocator = NodeAllocator(machine, "contiguous")
+        allocator.allocate("a", 10)
+        with pytest.raises(ValueError):
+            allocator.allocate("b", 10)
+        allocator.release("a")
+        assert len(allocator.free_nodes) == machine.num_nodes
+        allocator.allocate("b", 10)
+
+    def test_rejects_duplicate_and_oversized_requests(self):
+        machine = ThetaMachine(16)
+        allocator = NodeAllocator(machine, "contiguous")
+        allocator.allocate("a", 4)
+        with pytest.raises(ValueError):
+            allocator.allocate("a", 4)
+        with pytest.raises(ValueError):
+            allocator.allocate("b", machine.num_nodes)
+        with pytest.raises(ValueError):
+            NodeAllocator(machine, "bogus")
+
+
+class TestJobBinding:
+    def test_spec_validates_rank_count(self):
+        with pytest.raises(ValueError):
+            JobSpec(
+                name="bad",
+                num_nodes=4,
+                workload=IORWorkload(8, 1 * MB),
+                ranks_per_node=16,
+            )
+
+    def test_bind_job_builds_weights_and_estimate(self):
+        machine = ThetaMachine(16)
+        # Sparse aggregators: partitions span several nodes, so aggregation
+        # traffic really crosses the interconnect.
+        spec = theta_spec(machine, "a", 8, aggregators=2)
+        job = bind_job(machine, spec, list(range(8)))
+        assert job.isolated.bandwidth > 0
+        ost_keys = [key for key in job.storage_weights if key[0] == "lustre-ost"]
+        assert len(ost_keys) == 2
+        assert sum(job.storage_weights[key] for key in ost_keys) == pytest.approx(1.0)
+        assert job.storage_weights[("lustre-lnet",)] == 1.0
+        assert job.network_weights, "aggregation traffic should load links"
+        assert set(job.network_capacities) == set(job.network_weights)
+
+    def test_bind_job_with_node_local_aggregation_loads_no_links(self):
+        machine = ThetaMachine(16)
+        # One aggregator per node's worth of ranks: every partition is
+        # node-local, so no aggregation byte touches the network.
+        spec = theta_spec(machine, "a", 8, aggregators=8)
+        job = bind_job(machine, spec, list(range(8)))
+        assert job.network_weights == {}
+
+    def test_bind_job_on_mira_loads_its_psets_only(self):
+        machine = MiraMachine(32, pset_size=16)
+        spec = JobSpec(
+            name="m",
+            num_nodes=16,
+            workload=IORWorkload(16 * 4, 1 * MB),
+            ranks_per_node=4,
+            config=TapiocaConfig(num_aggregators=8, buffer_size=4 * MIB),
+        )
+        job = bind_job(machine, spec, list(range(16)))
+        ion_keys = [key for key in job.storage_weights if key[0] == "gpfs-ion"]
+        assert ion_keys == [("gpfs-ion", 0)]
+        assert ("gpfs-backend",) in job.storage_weights
+
+
+class TestMultiJobRuntime:
+    def test_shared_osts_slow_down_disjoint_do_not(self):
+        """The acceptance scenario: slowdown > 1 on shared OSTs, ~1 disjoint."""
+        machine = ThetaMachine(16)
+        shared = MultiJobRuntime(
+            machine,
+            [
+                theta_spec(machine, "A", 8, ost_start=0),
+                theta_spec(machine, "B", 8, ost_start=0),
+            ],
+        ).run()
+        disjoint = MultiJobRuntime(
+            machine,
+            [
+                theta_spec(machine, "A", 8, ost_start=0),
+                theta_spec(machine, "B", 8, ost_start=2),
+            ],
+        ).run()
+        assert shared.outcome_of("A").slowdown > 1.05
+        assert shared.outcome_of("B").slowdown > 1.05
+        assert disjoint.max_slowdown() <= 1.01
+        assert shared.conserves_bandwidth()
+        assert disjoint.conserves_bandwidth()
+
+    def test_symmetric_jobs_get_symmetric_slowdowns(self):
+        machine = ThetaMachine(16)
+        report = MultiJobRuntime(
+            machine,
+            [
+                theta_spec(machine, "A", 8, ost_start=0),
+                theta_spec(machine, "B", 8, ost_start=0),
+            ],
+        ).run()
+        a, b = report.outcome_of("A"), report.outcome_of("B")
+        assert a.slowdown == pytest.approx(b.slowdown, rel=1e-6)
+
+    def test_staggered_arrival_reduces_overlap(self):
+        machine = ThetaMachine(16)
+
+        def specs(delay):
+            return [
+                theta_spec(machine, "A", 8, ost_start=0),
+                theta_spec(machine, "B", 8, ost_start=0, arrival_s=delay),
+            ]
+
+        overlapped = MultiJobRuntime(machine, specs(0.0)).run()
+        solo_time = overlapped.outcome_of("A").isolated_io_s
+        # Arrive after job A is completely done: nobody interferes.
+        staggered = MultiJobRuntime(machine, specs(10.0 * solo_time)).run()
+        assert staggered.max_slowdown() <= 1.01
+        assert overlapped.max_slowdown() > staggered.max_slowdown()
+
+    def test_compute_phase_delays_io_start(self):
+        machine = ThetaMachine(16)
+        report = MultiJobRuntime(
+            machine, [theta_spec(machine, "A", 8, compute_s=5.0)]
+        ).run()
+        outcome = report.outcome_of("A")
+        assert outcome.start_s == pytest.approx(5.0)
+        assert outcome.slowdown == pytest.approx(1.0)
+
+    def test_shared_burst_buffer_drain_contends(self):
+        machine = ThetaMachine(16)
+        tier = BurstBufferModel(name="bb", num_devices=16, drain_bandwidth=gbps(2.0))
+        shared = MultiJobRuntime(
+            machine,
+            [
+                theta_spec(machine, "A", 8, filesystem=tier, stripe=None),
+                theta_spec(machine, "B", 8, filesystem=tier, stripe=None),
+            ],
+        ).run()
+        assert shared.outcome_of("A").slowdown > 1.05
+        assert shared.conserves_bandwidth()
+
+    def test_rejects_duplicate_names_and_empty_runs(self):
+        machine = ThetaMachine(16)
+        with pytest.raises(ValueError):
+            MultiJobRuntime(
+                machine,
+                [
+                    theta_spec(machine, "A", 4),
+                    theta_spec(machine, "A", 4),
+                ],
+            )
+        with pytest.raises(ValueError):
+            MultiJobRuntime(machine, [])
+
+    def test_cross_job_link_sharing_by_policy(self):
+        machine = ThetaMachine(16)
+
+        def sharing(policy):
+            runtime = MultiJobRuntime(
+                machine,
+                [
+                    theta_spec(machine, "A", 8, ost_start=0, aggregators=2),
+                    theta_spec(machine, "B", 8, ost_start=2, aggregators=2),
+                ],
+                allocation_policy=policy,
+            )
+            return runtime.cross_job_link_sharing()[("A", "B")]
+
+        assert sharing("contiguous") == 0
+        assert sharing("scattered") > 0

@@ -1,0 +1,104 @@
+"""Mappings over non-contiguous allocations and per-link flow accounting.
+
+The multi-job allocator's scattered policy hands jobs node sets with holes;
+these tests pin down that :mod:`repro.topology.mapping` and the link-load
+accounting behave on exactly that shape, which the original (contiguous-only)
+tests never exercised.
+"""
+
+import pytest
+
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.mapping import allocation_mapping, block_mapping
+from repro.topology.torus import TorusTopology
+
+
+class TestAllocationMapping:
+    def test_non_contiguous_nodes_fill_in_order(self):
+        nodes = [3, 11, 4, 25]
+        mapping = allocation_mapping(8, nodes, num_nodes=32, ranks_per_node=2)
+        assert mapping.num_ranks == 8
+        assert mapping.num_nodes == 32
+        assert mapping.node(0) == 3 and mapping.node(1) == 3
+        assert mapping.node(2) == 11
+        assert mapping.node(6) == 25 and mapping.node(7) == 25
+
+    def test_ranks_on_node_with_holes(self):
+        mapping = allocation_mapping(6, [9, 2, 30], num_nodes=31, ranks_per_node=2)
+        assert mapping.ranks_on_node(9) == [0, 1]
+        assert mapping.ranks_on_node(2) == [2, 3]
+        assert mapping.ranks_on_node(30) == [4, 5]
+        # Unallocated nodes host no ranks.
+        assert mapping.ranks_on_node(10) == []
+        assert mapping.nodes_used() == [2, 9, 30]
+
+    def test_matches_block_mapping_on_contiguous_nodes(self):
+        contiguous = allocation_mapping(
+            8, list(range(4)), num_nodes=4, ranks_per_node=2
+        )
+        reference = block_mapping(8, 4, 2)
+        assert contiguous.node_of_rank == reference.node_of_rank
+
+    def test_default_machine_size_covers_max_node(self):
+        mapping = allocation_mapping(2, [5, 17], ranks_per_node=1)
+        assert mapping.num_nodes == 18
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocation_mapping(4, [], ranks_per_node=2)
+        with pytest.raises(ValueError):
+            allocation_mapping(4, [1, 1], ranks_per_node=2)  # duplicate node
+        with pytest.raises(ValueError):
+            allocation_mapping(9, [0, 1], ranks_per_node=2)  # does not fit
+        with pytest.raises(ValueError):
+            allocation_mapping(2, [7], num_nodes=4, ranks_per_node=2)  # id range
+
+    def test_uneven_last_node_absorbs_overflow(self):
+        # 5 ranks on 2 nodes at 3 per node: last node takes the remainder.
+        mapping = allocation_mapping(5, [8, 1], num_nodes=9, ranks_per_node=3)
+        assert mapping.ranks_on_node(8) == [0, 1, 2]
+        assert mapping.ranks_on_node(1) == [3, 4]
+
+
+class TestLinkLoads:
+    def test_counts_flows_per_link(self):
+        topology = DragonflyTopology(groups=2, routers_per_group=2, nodes_per_router=2)
+        loads = topology.link_loads([(0, 1), (0, 1), (0, 0)])
+        # Same-router flow: injection + ejection, counted twice; self-flow ignored.
+        assert all(load.flows == 2 for load in loads.values())
+        kinds = {load.link.kind for load in loads.values()}
+        assert kinds == {"injection", "ejection"}
+
+    def test_global_link_loads_only_reports_optical_links(self):
+        topology = DragonflyTopology(groups=2, routers_per_group=2, nodes_per_router=2)
+        cross_group = topology.link_loads([(0, topology.num_nodes - 1)])
+        globals_only = topology.global_link_loads([(0, topology.num_nodes - 1)])
+        assert globals_only, "a cross-group flow must use a global link"
+        assert set(globals_only) <= set(cross_group)
+        assert all(
+            load.link.kind == "global" for load in globals_only.values()
+        )
+        # An intra-group flow uses no global links.
+        assert topology.global_link_loads([(0, 2)]) == {}
+
+    def test_torus_links_within_sub_box_cover_internal_routes(self):
+        topology = TorusTopology((4, 4, 2))
+        box = [
+            topology.node_from_coordinates((a, b, c))
+            for a in range(2)
+            for b in range(2)
+            for c in range(2)
+        ]
+        internal = {link.key for link in topology.links_within(box)}
+        # Dimension-order routes between box members stay on internal links.
+        for src in box:
+            for dst in box:
+                if src == dst:
+                    continue
+                for link in topology.route(src, dst).links:
+                    assert link.key in internal
+
+    def test_torus_links_within_validates_nodes(self):
+        topology = TorusTopology((2, 2))
+        with pytest.raises(ValueError):
+            topology.links_within([0, 99])
