@@ -3,22 +3,29 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro list                       # list reproducible experiments
+    python -m repro list --json                # machine-readable {id: description}
     python -m repro run fig13                  # reproduce one figure/table
     python -m repro run fig13 --scale 8        # reduced-scale quick run
+    python -m repro run fig13 --set io.buffer_size=8388608   # scenario override
     python -m repro run-all --jobs 4 --out artifacts/   # parallel sweep + JSON artifacts
     python -m repro report -o EXPERIMENTS.md   # regenerate the full report
     python -m repro report --from artifacts/ -o EXPERIMENTS.md  # from artifacts only
+    python -m repro scenario list              # named base scenarios
+    python -m repro scenario show fig10        # export a scenario as JSON
+    python -m repro scenario run my.json       # run a scenario JSON file
     python -m repro estimate --machine theta --nodes 1024 \
         --particles 25000 --layout soa         # one-off TAPIOCA vs MPI I/O estimate
 
 The CLI only wraps functionality available from the library
-(:mod:`repro.experiments`, :mod:`repro.perfmodel`); it exists so the figures
-can be regenerated without writing any Python.
+(:mod:`repro.experiments`, :mod:`repro.scenario`, :mod:`repro.perfmodel`);
+it exists so the figures can be regenerated — and new scenarios explored —
+without writing any Python.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 from typing import Sequence
@@ -28,19 +35,30 @@ from repro.experiments.harness import (
     describe_experiments,
     list_experiments,
     run_experiment,
+    unknown_experiment_message,
 )
 from repro.experiments.report import generate_report, generate_report_from_store
 from repro.experiments.runner import RunOutcome, run_experiments
-from repro.experiments.store import ArtifactStore, git_sha
+from repro.experiments.store import ArtifactStore, git_sha, result_to_dict
 from repro.iolib.hints import MPIIOHints
 from repro.machine.mira import MiraMachine
 from repro.machine.theta import ThetaMachine
 from repro.perfmodel.mpiio import model_mpiio
 from repro.perfmodel.tapioca import model_tapioca
+from repro.scenario.registry import describe_scenarios, get_scenario
+from repro.scenario.simulation import Simulation
+from repro.scenario.spec import Scenario, ScenarioError, parse_overrides
 from repro.storage.gpfs import GPFSModel
 from repro.storage.lustre import LustreStripeConfig
 from repro.utils.units import MIB
 from repro.workloads.hacc import HACCIOWorkload
+
+
+def _experiment_id(text: str) -> str:
+    """Argparse type for experiment ids: validated with a did-you-mean hint."""
+    if text in list_experiments():
+        return text
+    raise argparse.ArgumentTypeError(unknown_experiment_message(text))
 
 
 def _positive_scale(text: str) -> float:
@@ -65,16 +83,31 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     descriptions = describe_experiments()
+    if args.json:
+        print(json.dumps(descriptions, indent=2))
+        return 0
     width = max(len(experiment_id) for experiment_id in descriptions)
     for experiment_id, description in descriptions.items():
         print(f"{experiment_id:<{width}}  {description}")
     return 0
 
 
+def _parse_set_args(parser: argparse.ArgumentParser, pairs: list[str] | None) -> dict:
+    """Parse ``--set`` pairs, exiting with a usage error on malformed input."""
+    try:
+        return parse_overrides(pairs)
+    except ScenarioError as error:
+        parser.error(str(error))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, scale=args.scale)
+    overrides = _parse_set_args(args.parser, args.set)
+    try:
+        result = run_experiment(args.experiment, scale=args.scale, overrides=overrides)
+    except ScenarioError as error:
+        args.parser.error(str(error))
     print(result.render())
     return 0 if result.all_checks_pass() else 1
 
@@ -100,6 +133,7 @@ def _warn_stale_artifacts(store: ArtifactStore) -> None:
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
+    overrides = _parse_set_args(args.parser, args.set)
     store = ArtifactStore(args.out) if args.out else None
     if store is not None and not args.no_cache:
         _warn_stale_artifacts(store)
@@ -109,15 +143,19 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         source = "cached" if outcome.cached else f"{outcome.wall_time_s:6.2f}s"
         print(f"[{status}] {outcome.experiment_id:<22} {source}")
 
-    report = run_experiments(
-        args.experiments,
-        scale=args.scale,
-        jobs=args.jobs,
-        store=store,
-        use_cache=not args.no_cache,
-        fail_fast=args.fail_fast,
-        on_outcome=show,
-    )
+    try:
+        report = run_experiments(
+            args.experiments,
+            scale=args.scale,
+            jobs=args.jobs,
+            store=store,
+            use_cache=not args.no_cache,
+            fail_fast=args.fail_fast,
+            on_outcome=show,
+            overrides=overrides,
+        )
+    except ScenarioError as error:
+        args.parser.error(str(error))
     ran, hits, failed = report.executed(), report.cache_hits(), report.failed()
     print(
         f"{len(report.outcomes)} experiments: {len(ran)} ran, "
@@ -134,16 +172,59 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.from_dir:
         try:
-            report = generate_report_from_store(ArtifactStore(args.from_dir))
+            report = generate_report_from_store(
+                ArtifactStore(args.from_dir), ids=args.experiments
+            )
         except (OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
     else:
-        report = generate_report(scale=args.scale)
+        report = generate_report(scale=args.scale, ids=args.experiments)
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(report)
     print(f"wrote {args.output}")
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# Scenario subcommands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_scenario_list(_args: argparse.Namespace) -> int:
+    descriptions = describe_scenarios()
+    width = max(len(name) for name in descriptions)
+    for name, description in sorted(descriptions.items()):
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    try:
+        scenario = get_scenario(args.name, scale=args.scale)
+    except KeyError as error:
+        args.parser.error(str(error.args[0]))
+    print(scenario.to_json())
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        args.parser.error(f"cannot read scenario file: {error}")
+    overrides = _parse_set_args(args.parser, args.set)
+    try:
+        scenario = Scenario.from_json(text).with_overrides(overrides)
+        result = Simulation(scenario).run()
+    except ScenarioError as error:
+        args.parser.error(str(error))
+    if args.json:
+        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.all_checks_pass() else 1
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -207,14 +288,28 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list reproducible experiments")
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {id: description} as JSON for tooling",
+    )
     list_parser.set_defaults(func=_cmd_list)
 
     run_parser = subparsers.add_parser("run", help="reproduce one figure/table")
-    run_parser.add_argument("experiment", choices=list_experiments())
+    run_parser.add_argument(
+        "experiment", type=_experiment_id, metavar="EXPERIMENT"
+    )
     run_parser.add_argument(
         "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
     )
-    run_parser.set_defaults(func=_cmd_run)
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a scenario field by dotted path "
+        "(e.g. --set io.buffer_size=8388608); may be repeated",
+    )
+    run_parser.set_defaults(func=_cmd_run, parser=run_parser)
 
     run_all_parser = subparsers.add_parser(
         "run-all", help="reproduce every figure/table, optionally in parallel"
@@ -248,10 +343,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment",
         action="append",
         dest="experiments",
-        choices=list_experiments(),
+        type=_experiment_id,
+        metavar="EXPERIMENT",
         help="run only the given experiment id(s); may be repeated",
     )
-    run_all_parser.set_defaults(func=_cmd_run_all)
+    run_all_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="scenario override applied to every experiment; may be repeated",
+    )
+    run_all_parser.set_defaults(func=_cmd_run_all, parser=run_all_parser)
 
     report_parser = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
@@ -263,7 +365,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="regenerate from a JSON artifact directory instead of re-running",
     )
-    report_parser.set_defaults(func=_cmd_report)
+    report_parser.add_argument(
+        "--experiment",
+        action="append",
+        dest="experiments",
+        type=_experiment_id,
+        metavar="EXPERIMENT",
+        help="report only the given experiment id(s); may be repeated",
+    )
+    report_parser.set_defaults(func=_cmd_report, parser=report_parser)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="declarative scenarios: list, export, run from JSON"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_sub.add_parser("list", help="list named base scenarios")
+    scenario_list.set_defaults(func=_cmd_scenario_list, parser=scenario_list)
+
+    scenario_show = scenario_sub.add_parser(
+        "show", help="print a named scenario as JSON (pipe to a file, edit, run)"
+    )
+    scenario_show.add_argument("name", metavar="NAME")
+    scenario_show.add_argument(
+        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
+    )
+    scenario_show.set_defaults(func=_cmd_scenario_show, parser=scenario_show)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario described by a JSON file"
+    )
+    scenario_run.add_argument("file", metavar="FILE.json")
+    scenario_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a scenario field by dotted path; may be repeated",
+    )
+    scenario_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiment result as JSON instead of a table",
+    )
+    scenario_run.set_defaults(func=_cmd_scenario_run, parser=scenario_run)
 
     estimate_parser = subparsers.add_parser(
         "estimate", help="one-off TAPIOCA vs MPI I/O estimate (HACC-IO style workload)"

@@ -5,41 +5,69 @@ TAPIOCA ingredient (topology-aware placement, double-buffer pipelining,
 aggregator count, and the memory-tier extension) using the same analytic
 model as the figure reproductions, so the benchmark suite can assert that
 each ingredient pulls in the direction the paper claims.
+
+Like the figures, every ablation is a base
+:class:`~repro.scenario.spec.Scenario` plus a sweep run through the
+:class:`~repro.scenario.simulation.Simulation` facade; the two ablations
+whose metric is not a bandwidth (placement cost, staging decision) still
+resolve their machines and workloads through the facade so overrides and
+registry export work uniformly.
 """
 
 from __future__ import annotations
 
-from repro.core.config import TapiocaConfig
+from typing import Any, Mapping
+
 from repro.core.memory import staging_benefit
 from repro.experiments.results import ExperimentResult, Series
-from repro.machine.mira import MiraMachine
-from repro.machine.theta import ThetaMachine
-from repro.perfmodel.tapioca import model_tapioca
+from repro.scenario.registry import register_scenario
+from repro.scenario.simulation import Simulation, resolve_storage
+from repro.scenario.spec import (
+    IOStrategySpec,
+    MachineSpec,
+    PlacementSpec,
+    Scenario,
+    ScenarioError,
+    StorageSpec,
+    WorkloadSpec,
+)
+from repro.scenario.sweep import Sweep, axis
 from repro.storage.base import IOPhaseProfile
 from repro.storage.burst_buffer import BurstBufferModel
-from repro.storage.lustre import LustreStripeConfig
+from repro.utils.scaling import scaled_nodes
 from repro.utils.units import GIB, MB, MIB
-from repro.workloads.hacc import HACCIOWorkload
-from repro.workloads.ior import IORWorkload
-
-from repro.experiments.figures import _scaled
 
 
-def ablation_placement(scale: float = 1.0) -> ExperimentResult:
+def ablation_placement_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario of the placement ablation (topology-aware cell)."""
+    return Scenario(
+        id="ablation_placement",
+        title="Aggregator placement strategy ablation (HACC-IO AoS on Mira)",
+        machine=MachineSpec(
+            kind="mira", num_nodes=scaled_nodes(1024, scale, multiple=128)
+        ),
+        workload=WorkloadSpec(kind="hacc", particles_per_rank=25_000, layout="aos"),
+        io=IOStrategySpec(kind="tapioca", aggregators_per_pset=16, buffer_size=16 * MIB),
+        placement=PlacementSpec(
+            strategy="topology-aware", partition_by="pset", seed=7
+        ),
+    )
+
+
+def ablation_placement(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
     """Aggregator placement strategies compared under the paper's cost model.
 
     The topology-aware objective should never lose to rank-order or random
     placement, with the gap visible in the aggregation-phase time.
     """
-    num_nodes = _scaled(1024, scale, multiple=128)
-    machine = MiraMachine(num_nodes)
-    ranks = num_nodes * 16
-    workload = HACCIOWorkload(ranks, 25_000, layout="aos")
+    base = ablation_placement_scenario(scale).with_overrides(overrides)
     strategies = ["topology-aware", "rank-order", "random", "max-volume", "shortest-io"]
     result = ExperimentResult(
-        experiment_id="ablation_placement",
-        title="Aggregator placement strategy ablation (HACC-IO AoS on Mira)",
-        machine=machine.name,
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
         x_label="strategy index",
         paper_reference=(
             "Section IV-B argues the default bridge-node/rank-order policy "
@@ -51,15 +79,11 @@ def ablation_placement(scale: float = 1.0) -> ExperimentResult:
     exposed_aggregation = {}
     series = Series("bandwidth (GBps)")
     aggregation_series = Series("aggregation time (ms)")
-    for index, strategy in enumerate(strategies):
-        config = TapiocaConfig(
-            num_aggregators=16 * machine.num_psets,
-            buffer_size=16 * MIB,
-            partition_by="pset",
-            placement=strategy,
-            placement_seed=7,
-        )
-        estimate = model_tapioca(machine, workload, config)
+    sweep = Sweep(axis("placement.strategy", strategies))
+    sweep.reject_overrides(overrides)
+    for index, scenario in enumerate(sweep.expand(base)):
+        estimate = Simulation(scenario).estimate()
+        strategy = scenario.placement.strategy
         bandwidths[strategy] = estimate.bandwidth_gbps()
         exposed_aggregation[strategy] = estimate.details["fill_time"]
         series.add(index, estimate.bandwidth_gbps())
@@ -81,16 +105,29 @@ def ablation_placement(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def ablation_pipelining(scale: float = 1.0) -> ExperimentResult:
-    """Double-buffer pipelining on vs off (Section IV-A's overlap)."""
-    num_nodes = _scaled(512, scale)
-    machine = ThetaMachine(num_nodes)
-    ranks = num_nodes * 16
-    stripe = LustreStripeConfig(48, 8 * MIB)
-    result = ExperimentResult(
-        experiment_id="ablation_pipelining",
+def ablation_pipelining_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario of the pipelining ablation (double-buffer cell)."""
+    return Scenario(
+        id="ablation_pipelining",
         title="Aggregation/I-O overlap ablation (microbenchmark on Theta)",
-        machine=machine.name,
+        machine=MachineSpec(kind="theta", num_nodes=scaled_nodes(512, scale)),
+        workload=WorkloadSpec(kind="ior", bytes_per_rank=1 * MB),
+        io=IOStrategySpec(
+            kind="tapioca", num_aggregators=48, buffer_size=8 * MIB, pipeline_depth=2
+        ),
+        storage=StorageSpec(kind="lustre", stripe_count=48, stripe_size=8 * MIB),
+    )
+
+
+def ablation_pipelining(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Double-buffer pipelining on vs off (Section IV-A's overlap)."""
+    base = ablation_pipelining_scenario(scale).with_overrides(overrides)
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
         x_label="MB/rank",
         paper_reference=(
             "TAPIOCA overlaps aggregation and I/O phases with two pipelined "
@@ -99,14 +136,17 @@ def ablation_pipelining(scale: float = 1.0) -> ExperimentResult:
     )
     overlapped = Series("pipeline_depth=2 (double buffering)")
     sequential = Series("pipeline_depth=1 (no overlap)")
-    for size in (1 * MB, 2 * MB, 4 * MB):
-        workload = IORWorkload(ranks, size)
-        for depth, series in ((2, overlapped), (1, sequential)):
-            config = TapiocaConfig(
-                num_aggregators=48, buffer_size=8 * MIB, pipeline_depth=depth
-            )
-            estimate = model_tapioca(machine, workload, config, stripe=stripe)
-            series.add(round(size / MB, 3), estimate.bandwidth_gbps())
+    by_depth = {2: overlapped, 1: sequential}
+    sweep = Sweep(
+        axis("workload.bytes_per_rank", (1 * MB, 2 * MB, 4 * MB)),
+        axis("io.pipeline_depth", (2, 1)),
+    )
+    sweep.reject_overrides(overrides)
+    for scenario in sweep.expand(base):
+        estimate = Simulation(scenario).estimate()
+        by_depth[scenario.io.pipeline_depth].add(
+            round(scenario.workload.bytes_per_rank / MB, 3), estimate.bandwidth_gbps()
+        )
     result.series = [overlapped, sequential]
     result.checks = {
         "double buffering never loses to the sequential pipeline": all(
@@ -119,17 +159,27 @@ def ablation_pipelining(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def ablation_aggregator_count(scale: float = 1.0) -> ExperimentResult:
-    """Sweep of the number of aggregators per OST (an open question per the paper)."""
-    num_nodes = _scaled(1024, scale)
-    machine = ThetaMachine(num_nodes)
-    ranks = num_nodes * 16
-    stripe = LustreStripeConfig(48, 16 * MIB)
-    workload = HACCIOWorkload(ranks, 25_000, layout="aos")
-    result = ExperimentResult(
-        experiment_id="ablation_aggregators",
+def ablation_aggregators_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario of the aggregator-count ablation (4/OST cell)."""
+    return Scenario(
+        id="ablation_aggregators",
         title="Aggregators-per-OST sweep (HACC-IO AoS on Theta)",
-        machine=machine.name,
+        machine=MachineSpec(kind="theta", num_nodes=scaled_nodes(1024, scale)),
+        workload=WorkloadSpec(kind="hacc", particles_per_rank=25_000, layout="aos"),
+        io=IOStrategySpec(kind="tapioca", aggregators_per_ost=4, buffer_size=16 * MIB),
+        storage=StorageSpec(kind="lustre", stripe_count=48, stripe_size=16 * MIB),
+    )
+
+
+def ablation_aggregator_count(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Sweep of the number of aggregators per OST (an open question per the paper)."""
+    base = ablation_aggregators_scenario(scale).with_overrides(overrides)
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
         x_label="aggregators per OST",
         paper_reference=(
             "The paper uses 4 aggregators/OST on 1,024 nodes and 8/OST on "
@@ -138,9 +188,11 @@ def ablation_aggregator_count(scale: float = 1.0) -> ExperimentResult:
     )
     series = Series("TAPIOCA bandwidth (GBps)")
     values = {}
-    for per_ost in (1, 2, 4, 8):
-        config = TapiocaConfig(num_aggregators=48 * per_ost, buffer_size=16 * MIB)
-        estimate = model_tapioca(machine, workload, config, stripe=stripe)
+    sweep = Sweep(axis("io.aggregators_per_ost", (1, 2, 4, 8)))
+    sweep.reject_overrides(overrides)
+    for scenario in sweep.expand(base):
+        per_ost = scenario.io.aggregators_per_ost
+        estimate = Simulation(scenario).estimate()
         values[per_ost] = estimate.bandwidth_gbps()
         series.add(per_ost, estimate.bandwidth_gbps())
     result.series = [series]
@@ -155,44 +207,63 @@ def ablation_aggregator_count(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def ablation_io_locality(scale: float = 1.0) -> ExperimentResult:
+def _io_locality_nodes(scale: float) -> int:
+    """Node count of the I/O-locality ablation (16-node leaves, floor of 32)."""
+    return max(32, int(round(128 / scale)) // 16 * 16)
+
+
+def ablation_io_locality_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario of the I/O-locality ablation (gateways-known cell)."""
+    return Scenario(
+        id="ablation_io_locality",
+        title="Value of I/O-node locality information in the placement objective",
+        machine=MachineSpec(
+            kind="generic",
+            num_nodes=_io_locality_nodes(scale),
+            ranks_per_node=8,
+            nodes_per_leaf=16,
+            num_gateways=4,
+            hide_gateways=False,
+        ),
+        workload=WorkloadSpec(kind="hacc", particles_per_rank=25_000, layout="aos"),
+        io=IOStrategySpec(kind="tapioca", num_aggregators=8),
+    )
+
+
+def ablation_io_locality(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
     """The C2 term: placement with and without I/O-node locality information.
 
     On Theta the LNET router placement is not exposed, so the paper sets the
     C2 (aggregator-to-storage) cost term to zero.  This ablation quantifies
     what that information is worth: on a generic cluster whose I/O gateways
     *are* known, the full C1+C2 objective places aggregators closer to the
-    gateways than a C1-only objective that ignores them.
+    gateways than a C1-only objective that ignores them.  The two cells are
+    the same scenario with ``machine.hide_gateways`` toggled (the Theta rule).
     """
     from repro.core.cost_model import AggregationCostModel
     from repro.core.partitioning import build_partitions
     from repro.core.placement import place_aggregators
     from repro.core.topology_iface import TopologyInterface
-    from repro.machine.generic import GenericClusterMachine, generic_cluster
     from repro.topology.mapping import random_mapping
 
-    num_nodes = max(32, int(round(128 / scale)) // 16 * 16)
-    machine = generic_cluster(num_nodes, nodes_per_leaf=16, num_gateways=4)
-
-    class _HiddenGateways(GenericClusterMachine):
-        """The same cluster pretending (like Theta) not to know its gateways."""
-
-        def io_gateways(self):  # noqa: D102 - see class docstring
-            return []
-
-        def io_gateway_for_node(self, node):  # noqa: D102
-            self.topology.validate_node(node)
-            return None
-
-    hidden = _HiddenGateways(num_nodes, nodes_per_leaf=16, num_gateways=4)
-    ranks_per_node = 8
-    num_ranks = num_nodes * ranks_per_node
-    workload = HACCIOWorkload(num_ranks, 25_000, layout="aos")
-    mapping = random_mapping(num_ranks, num_nodes, ranks_per_node, seed=2017)
-    partitions = build_partitions(workload, 8)
+    base = ablation_io_locality_scenario(scale).with_overrides(overrides)
+    cases_sweep = Sweep(axis("machine.hide_gateways", (False, True)))
+    cases_sweep.reject_overrides(overrides)
+    cases = cases_sweep.expand(base)
+    # The full-information machine anchors both the distance metric and the
+    # apples-to-apples cost evaluation.
+    machine = Simulation(cases[0]).machine
+    resolved = Simulation(cases[0]).resolve()
+    num_ranks = resolved.num_ranks
+    mapping = random_mapping(
+        num_ranks, machine.num_nodes, resolved.ranks_per_node, seed=2017
+    )
+    partitions = build_partitions(resolved.workload, base.io.num_aggregators)
     result = ExperimentResult(
-        experiment_id="ablation_io_locality",
-        title="Value of I/O-node locality information in the placement objective",
+        experiment_id=base.id,
+        title=base.title,
         machine=machine.name,
         x_label="case index",
         paper_reference=(
@@ -203,9 +274,17 @@ def ablation_io_locality(scale: float = 1.0) -> ExperimentResult:
     distance_series = Series("mean aggregator-to-gateway distance (hops)")
     cost_series = Series("objective cost C1+C2 (ms)")
     mean_distance = {}
-    for index, (label, target) in enumerate((("with C2", machine), ("C2=0", hidden))):
+    labels = ("with C2", "C2=0")
+    for index, scenario in enumerate(cases):
+        label = labels[index]
+        target = Simulation(scenario).machine
         iface = TopologyInterface(target, mapping)
-        placement = place_aggregators(partitions, iface, strategy="topology-aware")
+        placement = place_aggregators(
+            partitions,
+            iface,
+            strategy=base.placement.strategy,
+            seed=base.placement.seed,
+        )
         # Evaluate both placements under the *full-information* cost model so
         # the comparison is apples to apples.
         full_iface = TopologyInterface(machine, mapping)
@@ -232,21 +311,51 @@ def ablation_io_locality(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def ablation_burst_buffer(scale: float = 1.0) -> ExperimentResult:
+def ablation_burst_buffer_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario of the staging ablation (burst-buffer tier on Theta)."""
+    return Scenario(
+        id="ablation_burst_buffer",
+        title="Burst-buffer staging vs direct Lustre writes (per aggregation round)",
+        machine=MachineSpec(kind="theta", num_nodes=scaled_nodes(512, scale)),
+        workload=WorkloadSpec(kind="ior", bytes_per_rank=1 * MB),
+        storage=StorageSpec(
+            kind="burst-buffer",
+            name="staging",
+            num_devices=48,
+            device_capacity=128 * GIB,
+            # The direct path drains to Lustre with the tuned striping.
+            stripe_count=48,
+            stripe_size=8 * MIB,
+        ),
+    )
+
+
+def ablation_burst_buffer(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
     """Memory/storage-tier staging (the paper's future-work extension).
 
     Compares draining an aggregation round directly to Lustre against
     absorbing it into node-local SSD burst buffers first (the decision logic
     of :mod:`repro.core.memory`).
     """
-    num_nodes = _scaled(512, scale)
-    machine = ThetaMachine(num_nodes)
-    lustre = machine.filesystem().with_stripe(LustreStripeConfig(48, 8 * MIB))
-    aggregators = 48
-    burst = BurstBufferModel(num_devices=aggregators, device_capacity=128 * GIB)
+    from repro.storage.lustre import LustreStripeConfig
+
+    base = ablation_burst_buffer_scenario(scale).with_overrides(overrides)
+    machine = Simulation(base).machine
+    lustre = machine.filesystem().with_stripe(
+        LustreStripeConfig(base.storage.stripe_count, base.storage.stripe_size)
+    )
+    aggregators = base.storage.num_devices
+    burst, _stripe = resolve_storage(base.storage, machine)
+    if not isinstance(burst, BurstBufferModel):
+        raise ScenarioError(
+            "ablation_burst_buffer requires storage.kind='burst-buffer', "
+            f"got {base.storage.kind!r}"
+        )
     result = ExperimentResult(
-        experiment_id="ablation_burst_buffer",
-        title="Burst-buffer staging vs direct Lustre writes (per aggregation round)",
+        experiment_id=base.id,
+        title=base.title,
         machine=machine.name,
         x_label="round payload (MB per aggregator)",
         paper_reference=(
@@ -275,3 +384,33 @@ def ablation_burst_buffer(scale: float = 1.0) -> ExperimentResult:
         "the drain can proceed off the critical path (finite drain time)": True,
     }
     return result
+
+
+for _name, _builder, _description in (
+    (
+        "ablation_placement",
+        ablation_placement_scenario,
+        "Placement strategy ablation, topology-aware cell",
+    ),
+    (
+        "ablation_pipelining",
+        ablation_pipelining_scenario,
+        "Pipelining ablation, double-buffer cell",
+    ),
+    (
+        "ablation_aggregators",
+        ablation_aggregators_scenario,
+        "Aggregators-per-OST sweep, 4/OST cell",
+    ),
+    (
+        "ablation_io_locality",
+        ablation_io_locality_scenario,
+        "I/O-locality ablation, gateways-known cell",
+    ),
+    (
+        "ablation_burst_buffer",
+        ablation_burst_buffer_scenario,
+        "Burst-buffer staging ablation (Theta + SSD tier)",
+    ),
+):
+    register_scenario(_name, _builder, _description)

@@ -1,14 +1,25 @@
-"""Experiment registry and runner."""
+"""Experiment registry and runner.
+
+Every registered experiment is a scenario definition: a base
+:class:`~repro.scenario.spec.Scenario` plus a sweep, run through the
+:class:`~repro.scenario.simulation.Simulation` facade.  The registry
+functions therefore accept, next to the ``scale`` divisor, an optional
+``overrides`` mapping of dotted spec paths (the CLI's ``--set``) applied to
+the base scenario before the sweep expands it.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from difflib import get_close_matches
+from typing import Any, Callable, Mapping
 
 from repro.experiments import ablations, figures, interference
 from repro.experiments.results import ExperimentResult
 
-#: Registry mapping experiment ids to their reproduction functions.
-EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
+#: Registry mapping experiment ids to their reproduction functions.  Each
+#: function takes ``(scale, overrides=None)``; stubs taking only ``scale``
+#: keep working as long as no overrides are requested.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig07": figures.fig07_ior_mira,
     "fig08": figures.fig08_ior_theta,
     "fig09": figures.fig09_micro_mira,
@@ -49,20 +60,43 @@ def describe_experiments() -> dict[str, str]:
     return descriptions
 
 
-def run_experiment(experiment_id: str, *, scale: float = 1.0) -> ExperimentResult:
+def suggest_experiments(experiment_id: str, n: int = 3) -> list[str]:
+    """Registered ids closest to a (misspelled) experiment id."""
+    return get_close_matches(experiment_id, list(EXPERIMENTS), n=n)
+
+
+def unknown_experiment_message(experiment_id: str) -> str:
+    """Human-readable error for an unknown id, with a did-you-mean hint."""
+    matches = suggest_experiments(experiment_id)
+    hint = f" (did you mean: {', '.join(matches)}?)" if matches else ""
+    return (
+        f"unknown experiment {experiment_id!r}{hint}; "
+        f"known: {', '.join(EXPERIMENTS)}"
+    )
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    scale: float = 1.0,
+    overrides: Mapping[str, Any] | None = None,
+) -> ExperimentResult:
     """Run one experiment by id.
 
     Args:
         experiment_id: one of :func:`list_experiments`.
         scale: node-count divisor (1.0 = the paper's scale).
+        overrides: dotted-path scenario overrides applied to the experiment's
+            base scenario (``{"io.buffer_size": 8 * MIB}``); ``None`` runs
+            the experiment as published.
 
     Raises:
-        KeyError: for an unknown experiment id.
+        KeyError: for an unknown experiment id (with a did-you-mean hint).
     """
     if experiment_id not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
-        )
+        raise KeyError(unknown_experiment_message(experiment_id))
+    if overrides:
+        return EXPERIMENTS[experiment_id](scale, overrides)
     return EXPERIMENTS[experiment_id](scale)
 
 
@@ -71,6 +105,7 @@ def run_all(
     scale: float = 1.0,
     ids: list[str] | None = None,
     jobs: int = 1,
+    overrides: Mapping[str, Any] | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several (default: all) experiments and return their results by id.
 
@@ -80,4 +115,4 @@ def run_all(
     # Imported lazily: the runner imports this module for the registry.
     from repro.experiments.runner import run_experiments
 
-    return run_experiments(ids, scale=scale, jobs=jobs).results()
+    return run_experiments(ids, scale=scale, jobs=jobs, overrides=overrides).results()

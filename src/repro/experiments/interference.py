@@ -3,10 +3,17 @@
 The paper's Theta measurements were taken on a production machine whose
 Lustre file system and dragonfly interconnect are shared with other jobs;
 the figures therefore embed an operating condition the single-job
-reproductions cannot express.  These experiments use the multi-job subsystem
-(:mod:`repro.multijob`) to put that condition back: several concurrent jobs
-on one machine, with shared-resource bandwidth partitioned by the contention
-ledger, reporting each job's slowdown versus its isolated run.
+reproductions cannot express.  These experiments put that condition back:
+several concurrent jobs on one machine, with shared-resource bandwidth
+partitioned by the contention ledger, reporting each job's slowdown versus
+its isolated run.
+
+Each experiment is a multi-job :class:`~repro.scenario.spec.Scenario` — the
+co-running jobs are data, declared as :class:`JobScenarioSpec` entries — run
+through the :class:`~repro.scenario.simulation.Simulation` facade.  Scenario
+variants (shared vs disjoint OSTs, allocation policies, job counts) are
+dotted-path sweeps over the base scenario, and the variants are registered
+by name (``repro scenario show interference_theta_ost/shared``).
 
 Like the figure reproductions, every experiment encodes qualitative checks
 that must hold at any ``scale``.
@@ -14,14 +21,23 @@ that must hold at any ``scale``.
 
 from __future__ import annotations
 
-from repro.core.config import TapiocaConfig
+from typing import Any, Mapping
+
 from repro.experiments.results import ExperimentResult, Series
-from repro.machine.theta import ThetaMachine
-from repro.multijob import JobSpec, MultiJobRuntime
-from repro.storage.burst_buffer import BurstBufferModel
-from repro.utils.units import MB, MIB, gbps
+from repro.scenario.registry import register_scenario
+from repro.scenario.simulation import Simulation
+from repro.scenario.spec import (
+    IOStrategySpec,
+    JobScenarioSpec,
+    MachineSpec,
+    MultiJobSpec,
+    Scenario,
+    StorageSpec,
+    WorkloadSpec,
+)
+from repro.scenario.sweep import Sweep, axis, zipped
+from repro.utils.units import MB, MIB
 from repro.utils.validation import require_positive
-from repro.workloads.ior import IORWorkload
 
 #: Per-job stripe width in the OST-sharing scenarios: narrow enough that an
 #: I/O-bound job drives each of its OSTs close to saturation, so sharing the
@@ -37,15 +53,14 @@ def _interference_nodes(scale: float, base: int = 64) -> int:
 
 
 def _theta_job(
-    machine: ThetaMachine,
     name: str,
     num_nodes: int,
     *,
     ost_start: int,
     mb_per_rank: int = 4,
-    filesystem=None,
+    storage: StorageSpec | None = None,
     aggregators: int | None = None,
-) -> JobSpec:
+) -> JobScenarioSpec:
     """An I/O-bound TAPIOCA job writing through a narrow OST set.
 
     The default (dense) aggregator count keeps each OST near saturation so
@@ -54,33 +69,53 @@ def _theta_job(
     aggregation traffic onto the interconnect.
     """
     ranks = num_nodes * 16
-    stripe = machine.stripe_for_job(
-        ost_start=ost_start, stripe_count=OST_STRIPE_COUNT, stripe_size=8 * MIB
-    )
-    return JobSpec(
+    return JobScenarioSpec(
         name=name,
         num_nodes=num_nodes,
-        workload=IORWorkload(ranks, mb_per_rank * MB),
-        config=TapiocaConfig(
+        workload=WorkloadSpec(kind="ior", bytes_per_rank=mb_per_rank * MB),
+        io=IOStrategySpec(
+            kind="tapioca",
             num_aggregators=min(32, ranks) if aggregators is None else aggregators,
             buffer_size=8 * MIB,
         ),
-        stripe=None if filesystem is not None else stripe,
-        filesystem=filesystem,
+        storage=storage
+        or StorageSpec(
+            kind="lustre",
+            stripe_count=OST_STRIPE_COUNT,
+            stripe_size=8 * MIB,
+            ost_start=ost_start,
+        ),
     )
 
 
-def interference_theta_ost(scale: float = 1.0) -> ExperimentResult:
-    """Two-job cross-application I/O on Theta: shared vs disjoint Lustre OSTs."""
+def interference_theta_ost_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario: two jobs writing through the *same* two Theta OSTs."""
     num_nodes = _interference_nodes(scale)
-    machine = ThetaMachine(2 * num_nodes)
-    result = ExperimentResult(
-        experiment_id="interference_theta_ost",
+    return Scenario(
+        id="interference_theta_ost",
         title=(
             "Two concurrent jobs on Theta: per-job slowdown on shared vs "
             "disjoint OST sets"
         ),
-        machine=machine.name,
+        machine=MachineSpec(kind="theta", num_nodes=2 * num_nodes),
+        multijob=MultiJobSpec(
+            jobs=(
+                _theta_job("A", num_nodes, ost_start=0),
+                _theta_job("B", num_nodes, ost_start=0),
+            )
+        ),
+    )
+
+
+def interference_theta_ost(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Two-job cross-application I/O on Theta: shared vs disjoint Lustre OSTs."""
+    base = interference_theta_ost_scenario(scale).with_overrides(overrides)
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
         x_label="scenario index",
         paper_reference=(
             "Not a paper figure: models the production condition (shared "
@@ -91,18 +126,15 @@ def interference_theta_ost(scale: float = 1.0) -> ExperimentResult:
         "Job A slowdown": Series("Job A slowdown"),
         "Job B slowdown": Series("Job B slowdown"),
     }
-    scenarios = [("shared OSTs", (0, 0)), ("disjoint OSTs", (0, OST_STRIPE_COUNT))]
+    # The sweep moves job B's stripe anchor: 0 shares job A's OSTs, one
+    # stripe width further is fully disjoint (lfs setstripe -i).
+    labels = ["shared OSTs", "disjoint OSTs"]
+    sweep = Sweep(axis("multijob.jobs.1.storage.ost_start", (0, OST_STRIPE_COUNT)))
+    sweep.reject_overrides(overrides)
     reports = {}
-    for index, (label, starts) in enumerate(scenarios):
-        runtime = MultiJobRuntime(
-            machine,
-            [
-                _theta_job(machine, "A", num_nodes, ost_start=starts[0]),
-                _theta_job(machine, "B", num_nodes, ost_start=starts[1]),
-            ],
-        )
-        report = runtime.run()
-        reports[label] = report
+    for index, scenario in enumerate(sweep.expand(base)):
+        report = Simulation(scenario).interference_report()
+        reports[labels[index]] = report
         series["Job A slowdown"].add(index, round(report.outcome_of("A").slowdown, 4))
         series["Job B slowdown"].add(index, round(report.outcome_of("B").slowdown, 4))
     result.series = list(series.values())
@@ -135,15 +167,34 @@ def interference_theta_ost(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def interference_job_count(scale: float = 1.0) -> ExperimentResult:
-    """Per-job slowdown versus the number of co-running jobs on one OST set."""
+def interference_job_count_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario: four jobs writing through one shared OST set."""
     num_nodes = _interference_nodes(scale, base=32)
     max_jobs = 4
-    machine = ThetaMachine(max_jobs * num_nodes)
-    result = ExperimentResult(
-        experiment_id="interference_job_count",
+    return Scenario(
+        id="interference_job_count",
         title="Slowdown growth as 1..4 jobs write through the same Lustre OSTs",
-        machine=machine.name,
+        machine=MachineSpec(kind="theta", num_nodes=max_jobs * num_nodes),
+        multijob=MultiJobSpec(
+            jobs=tuple(
+                _theta_job(f"J{index}", num_nodes, ost_start=0)
+                for index in range(max_jobs)
+            )
+        ),
+    )
+
+
+def interference_job_count(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Per-job slowdown versus the number of co-running jobs on one OST set."""
+    base = interference_job_count_scenario(scale).with_overrides(overrides)
+    all_jobs = base.multijob.jobs
+    max_jobs = len(all_jobs)
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
         x_label="concurrent jobs",
         paper_reference=(
             "Not a paper figure: background-load degradation, in the spirit "
@@ -153,12 +204,14 @@ def interference_job_count(scale: float = 1.0) -> ExperimentResult:
     worst = Series("worst per-job slowdown")
     mean = Series("mean per-job slowdown")
     slowdowns_by_count = {}
-    for count in range(1, max_jobs + 1):
-        specs = [
-            _theta_job(machine, f"J{index}", num_nodes, ost_start=0)
-            for index in range(count)
-        ]
-        report = MultiJobRuntime(machine, specs).run()
+    # The axis truncates the declared job tuple: 1 job, then 2, then 3...
+    sweep = Sweep(
+        axis("multijob.jobs", [all_jobs[:count] for count in range(1, max_jobs + 1)])
+    )
+    sweep.reject_overrides(overrides)
+    for index, scenario in enumerate(sweep.expand(base)):
+        count = index + 1
+        report = Simulation(scenario).interference_report()
         values = [outcome.slowdown for outcome in report.outcomes]
         slowdowns_by_count[count] = values
         worst.add(count, round(max(values), 4))
@@ -179,17 +232,40 @@ def interference_job_count(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def interference_alloc_policy(scale: float = 1.0) -> ExperimentResult:
-    """Cross-job link sharing under contiguous, topology-aware and scattered allocation."""
+def interference_alloc_policy_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario: two sparse-aggregator jobs under contiguous allocation."""
     num_nodes = _interference_nodes(scale)
-    machine = ThetaMachine(2 * num_nodes)
-    result = ExperimentResult(
-        experiment_id="interference_alloc_policy",
+    # Sparse aggregators: each partition spans ~4 nodes, so the aggregation
+    # traffic actually crosses the interconnect and the policies differ.
+    sparse = max(1, num_nodes // 4)
+    return Scenario(
+        id="interference_alloc_policy",
         title=(
             "Dragonfly links shared between two jobs' aggregation traffic, "
             "per allocation policy"
         ),
-        machine=machine.name,
+        machine=MachineSpec(kind="theta", num_nodes=2 * num_nodes),
+        multijob=MultiJobSpec(
+            jobs=(
+                _theta_job("A", num_nodes, ost_start=0, aggregators=sparse),
+                _theta_job(
+                    "B", num_nodes, ost_start=OST_STRIPE_COUNT, aggregators=sparse
+                ),
+            ),
+            allocation_policy="contiguous",
+        ),
+    )
+
+
+def interference_alloc_policy(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Cross-job link sharing under contiguous, topology-aware and scattered allocation."""
+    base = interference_alloc_policy_scenario(scale).with_overrides(overrides)
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
         x_label="policy index",
         paper_reference=(
             "Not a paper figure: quantifies why fragmented production "
@@ -200,24 +276,11 @@ def interference_alloc_policy(scale: float = 1.0) -> ExperimentResult:
     links = Series("links shared between the jobs")
     slowdown = Series("worst per-job slowdown")
     shared_links = {}
-    # Sparse aggregators: each partition spans ~4 nodes, so the aggregation
-    # traffic actually crosses the interconnect and the policies differ.
-    sparse = max(1, num_nodes // 4)
-    for index, policy in enumerate(policies):
-        runtime = MultiJobRuntime(
-            machine,
-            [
-                _theta_job(machine, "A", num_nodes, ost_start=0, aggregators=sparse),
-                _theta_job(
-                    machine,
-                    "B",
-                    num_nodes,
-                    ost_start=OST_STRIPE_COUNT,
-                    aggregators=sparse,
-                ),
-            ],
-            allocation_policy=policy,
-        )
+    sweep = Sweep(axis("multijob.allocation_policy", policies))
+    sweep.reject_overrides(overrides)
+    for index, scenario in enumerate(sweep.expand(base)):
+        policy = scenario.multijob.allocation_policy
+        runtime = Simulation(scenario).multijob_runtime()
         sharing = runtime.cross_job_link_sharing()[("A", "B")]
         shared_links[policy] = sharing
         links.add(index, float(sharing))
@@ -236,48 +299,63 @@ def interference_alloc_policy(scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-def interference_bb_drain(scale: float = 1.0) -> ExperimentResult:
-    """Two jobs staging through burst buffers: shared drain vs dedicated drains."""
+def interference_bb_drain_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario: two jobs staging through one shared burst-buffer drain."""
     num_nodes = _interference_nodes(scale)
-    machine = ThetaMachine(2 * num_nodes)
-    result = ExperimentResult(
-        experiment_id="interference_bb_drain",
+
+    def staged(name: str, tier: str) -> JobScenarioSpec:
+        return _theta_job(
+            name,
+            num_nodes,
+            ost_start=0,
+            storage=StorageSpec(
+                kind="burst-buffer", name=tier, num_devices=16, drain_gbps=2.0
+            ),
+        )
+
+    return Scenario(
+        id="interference_bb_drain",
         title=(
             "Burst-buffer staging under co-location: one shared drain vs "
             "dedicated drains"
         ),
-        machine=machine.name,
+        machine=MachineSpec(kind="theta", num_nodes=2 * num_nodes),
+        multijob=MultiJobSpec(
+            jobs=(staged("A", "bb-shared"), staged("B", "bb-shared"))
+        ),
+    )
+
+
+def interference_bb_drain(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Two jobs staging through burst buffers: shared drain vs dedicated drains."""
+    base = interference_bb_drain_scenario(scale).with_overrides(overrides)
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
         x_label="scenario index",
         paper_reference=(
             "Not a paper figure: extends the paper's future-work staging "
             "tier to the multi-tenant case"
         ),
     )
-
-    def burst_buffer(name: str) -> BurstBufferModel:
-        return BurstBufferModel(
-            name=name, num_devices=16, drain_bandwidth=gbps(2.0)
+    # Renaming the tiers splits the shared drain into per-job drains: jobs
+    # whose storage specs share a name share the ledger resource.
+    labels = ["shared drain", "dedicated drains"]
+    sweep = Sweep(
+        zipped(
+            axis("multijob.jobs.0.storage.name", ("bb-shared", "bb-a")),
+            axis("multijob.jobs.1.storage.name", ("bb-shared", "bb-b")),
         )
-
-    scenarios = {}
-    shared_tier = burst_buffer("bb-shared")
-    scenarios["shared drain"] = [
-        _theta_job(machine, "A", num_nodes, ost_start=0, filesystem=shared_tier),
-        _theta_job(machine, "B", num_nodes, ost_start=0, filesystem=shared_tier),
-    ]
-    scenarios["dedicated drains"] = [
-        _theta_job(
-            machine, "A", num_nodes, ost_start=0, filesystem=burst_buffer("bb-a")
-        ),
-        _theta_job(
-            machine, "B", num_nodes, ost_start=0, filesystem=burst_buffer("bb-b")
-        ),
-    ]
+    )
+    sweep.reject_overrides(overrides)
     worst = Series("worst per-job slowdown")
     reports = {}
-    for index, (label, specs) in enumerate(scenarios.items()):
-        report = MultiJobRuntime(machine, specs).run()
-        reports[label] = report
+    for index, scenario in enumerate(sweep.expand(base)):
+        report = Simulation(scenario).interference_report()
+        reports[labels[index]] = report
         worst.add(index, round(report.max_slowdown(), 4))
     result.series = [worst]
     result.checks = {
@@ -294,3 +372,45 @@ def interference_bb_drain(scale: float = 1.0) -> ExperimentResult:
     }
     result.notes = "Scenario order: shared drain, dedicated drains."
     return result
+
+
+def _variant(builder, overrides):
+    """A registry builder applying fixed overrides to a base scenario."""
+
+    def build(scale: float = 1.0) -> Scenario:
+        return builder(scale).with_overrides(overrides)
+
+    return build
+
+
+for _name, _builder, _description in (
+    (
+        "interference_theta_ost/shared",
+        interference_theta_ost_scenario,
+        "Two Theta jobs on the same two OSTs",
+    ),
+    (
+        "interference_theta_ost/disjoint",
+        _variant(
+            interference_theta_ost_scenario,
+            {"multijob.jobs.1.storage.ost_start": OST_STRIPE_COUNT},
+        ),
+        "Two Theta jobs on disjoint OST sets",
+    ),
+    (
+        "interference_job_count",
+        interference_job_count_scenario,
+        "Four Theta jobs sharing one OST set",
+    ),
+    (
+        "interference_alloc_policy",
+        interference_alloc_policy_scenario,
+        "Two sparse-aggregator jobs, contiguous allocation",
+    ),
+    (
+        "interference_bb_drain",
+        interference_bb_drain_scenario,
+        "Two jobs staging through one shared burst-buffer drain",
+    ),
+):
+    register_scenario(_name, _builder, _description)

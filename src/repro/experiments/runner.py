@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.experiments.results import ExperimentResult
 from repro.experiments.store import ArtifactStore, result_from_dict
@@ -72,13 +72,15 @@ class RunReport:
         return sum(o.wall_time_s for o in self.outcomes if not o.cached)
 
 
-def _execute(experiment_id: str, scale: float) -> tuple[str, ExperimentResult, float]:
+def _execute(
+    experiment_id: str, scale: float, overrides: dict | None = None
+) -> tuple[str, ExperimentResult, float]:
     """Worker entry point: run one experiment and time it (picklable)."""
     # Imported here so forked/spawned workers resolve the registry themselves.
     from repro.experiments.harness import run_experiment
 
     start = time.perf_counter()
-    result = run_experiment(experiment_id, scale=scale)
+    result = run_experiment(experiment_id, scale=scale, overrides=overrides)
     return experiment_id, result, time.perf_counter() - start
 
 
@@ -91,6 +93,7 @@ def run_experiments(
     use_cache: bool = True,
     fail_fast: bool = False,
     on_outcome: Callable[[RunOutcome], None] | None = None,
+    overrides: Mapping | None = None,
 ) -> RunReport:
     """Run a set of experiments, optionally in parallel and against a store.
 
@@ -108,6 +111,9 @@ def run_experiments(
             current experiment but further ones are cancelled).
         on_outcome: progress callback invoked for every finished experiment,
             cache hits included, in completion order.
+        overrides: dotted-path scenario overrides applied to every requested
+            experiment's base scenario; part of the artifact cache key, so
+            overridden runs never collide with as-published runs.
 
     Returns:
         A :class:`RunReport` whose outcomes follow the requested id order
@@ -117,18 +123,20 @@ def run_experiments(
     Raises:
         KeyError: if any requested id is not registered.
     """
-    from repro.experiments.harness import EXPERIMENTS, list_experiments
+    from repro.experiments.harness import (
+        EXPERIMENTS,
+        list_experiments,
+        unknown_experiment_message,
+    )
 
     # Dedupe while preserving order: a repeated id must not run twice in
     # sequential mode while running once in parallel mode.
     requested = list(dict.fromkeys(ids if ids is not None else list_experiments()))
     unknown = [eid for eid in requested if eid not in EXPERIMENTS]
     if unknown:
-        raise KeyError(
-            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
-            f"known: {', '.join(EXPERIMENTS)}"
-        )
+        raise KeyError("; ".join(unknown_experiment_message(eid) for eid in unknown))
 
+    overrides = dict(overrides) if overrides else None
     outcomes: dict[str, RunOutcome] = {}
 
     def record(outcome: RunOutcome) -> None:
@@ -141,7 +149,7 @@ def run_experiments(
     for experiment_id in requested:
         envelope = None
         if store is not None and use_cache:
-            envelope = store.cached_envelope(experiment_id, scale)
+            envelope = store.cached_envelope(experiment_id, scale, overrides)
         if envelope is not None:
             record(
                 RunOutcome(
@@ -161,9 +169,9 @@ def run_experiments(
     if to_run and not stop:
         try:
             if jobs <= 1 or len(to_run) == 1:
-                _run_sequential(to_run, scale, store, fail_fast, record)
+                _run_sequential(to_run, scale, overrides, store, fail_fast, record)
             else:
-                _run_parallel(to_run, scale, jobs, store, fail_fast, record)
+                _run_parallel(to_run, scale, overrides, jobs, store, fail_fast, record)
         finally:
             # Artifacts are saved with the manifest refresh deferred; one
             # rebuild at the end keeps an N-experiment sweep O(N) reads.
@@ -176,22 +184,33 @@ def run_experiments(
 
 
 def _persist(
-    store: ArtifactStore | None, result: ExperimentResult, scale: float, wall_time_s: float
+    store: ArtifactStore | None,
+    result: ExperimentResult,
+    scale: float,
+    wall_time_s: float,
+    overrides: dict | None,
 ) -> None:
     if store is not None:
-        store.save(result, scale=scale, wall_time_s=wall_time_s, update_manifest=False)
+        store.save(
+            result,
+            scale=scale,
+            wall_time_s=wall_time_s,
+            update_manifest=False,
+            overrides=overrides,
+        )
 
 
 def _run_sequential(
     ids: list[str],
     scale: float,
+    overrides: dict | None,
     store: ArtifactStore | None,
     fail_fast: bool,
     record: Callable[[RunOutcome], None],
 ) -> None:
     for experiment_id in ids:
-        _, result, wall_time = _execute(experiment_id, scale)
-        _persist(store, result, scale, wall_time)
+        _, result, wall_time = _execute(experiment_id, scale, overrides)
+        _persist(store, result, scale, wall_time, overrides)
         record(RunOutcome(experiment_id, result, wall_time))
         if fail_fast and not result.all_checks_pass():
             break
@@ -200,6 +219,7 @@ def _run_sequential(
 def _run_parallel(
     ids: list[str],
     scale: float,
+    overrides: dict | None,
     jobs: int,
     store: ArtifactStore | None,
     fail_fast: bool,
@@ -207,14 +227,14 @@ def _run_parallel(
 ) -> None:
     workers = min(jobs, len(ids))
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        pending = {executor.submit(_execute, eid, scale) for eid in ids}
+        pending = {executor.submit(_execute, eid, scale, overrides) for eid in ids}
         failed = False
         try:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     experiment_id, result, wall_time = future.result()
-                    _persist(store, result, scale, wall_time)
+                    _persist(store, result, scale, wall_time, overrides)
                     record(RunOutcome(experiment_id, result, wall_time))
                     if fail_fast and not result.all_checks_pass():
                         failed = True

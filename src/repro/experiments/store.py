@@ -25,7 +25,7 @@ import hashlib
 import json
 import subprocess
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.experiments.results import ExperimentResult, Series, SeriesPoint
 
@@ -104,16 +104,50 @@ def from_json(text: str) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def cache_key(experiment_id: str, scale: float) -> str:
+def _json_safe(value):
+    """A JSON-serialisable stand-in for an override value.
+
+    Override values are usually JSON scalars, but the library API also
+    accepts spec dataclasses (and tuples of them) wholesale; fall back to
+    their field dicts — or ``repr`` — so cache keys and envelopes never
+    crash after the experiment has already run.
+    """
+    if hasattr(value, "__dataclass_fields__"):
+        from dataclasses import asdict
+
+        return asdict(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def canonical_overrides(overrides: Mapping | None) -> dict | None:
+    """Overrides as a canonical, JSON-serialisable dict (``None`` if empty)."""
+    if not overrides:
+        return None
+    return {str(key): _json_safe(overrides[key]) for key in sorted(overrides)}
+
+
+def cache_key(
+    experiment_id: str, scale: float, overrides: Mapping | None = None
+) -> str:
     """Content-address of one experiment run.
 
-    The key is a SHA-256 digest of the canonical ``(experiment_id, scale)``
-    pair; two runs with the same key are by construction the same experiment
-    at the same scale and may share a cached artifact.
+    The key is a SHA-256 digest of the canonical
+    ``(experiment_id, scale, overrides)`` triple; two runs with the same key
+    are by construction the same experiment at the same scale with the same
+    scenario overrides and may share a cached artifact.  Runs without
+    overrides keep their pre-override keys, so existing artifact directories
+    stay valid.
     """
-    canonical = json.dumps(
-        {"experiment_id": experiment_id, "scale": float(scale)}, sort_keys=True
-    )
+    payload: dict = {"experiment_id": experiment_id, "scale": float(scale)}
+    if overrides:
+        payload["overrides"] = canonical_overrides(overrides)
+    canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -151,8 +185,18 @@ class ArtifactStore:
 
     # -- paths --------------------------------------------------------------
 
-    def artifact_path(self, experiment_id: str) -> Path:
-        """Path of the per-experiment artifact file."""
+    def artifact_path(
+        self, experiment_id: str, overrides: Mapping | None = None
+    ) -> Path:
+        """Path of the per-experiment artifact file.
+
+        Overridden runs live in their own ``<id>@set-<digest>.json`` files so
+        exploratory ``--set`` sweeps never clobber the as-published artifact
+        (which ``report --from`` and the plain-run cache rely on).
+        """
+        if overrides:
+            digest = cache_key(experiment_id, 0.0, overrides)[:12]
+            return self.root / f"{experiment_id}@set-{digest}.json"
         return self.root / f"{experiment_id}.json"
 
     @property
@@ -176,6 +220,7 @@ class ArtifactStore:
         scale: float,
         wall_time_s: float,
         update_manifest: bool = True,
+        overrides: Mapping | None = None,
     ) -> Path:
         """Persist one experiment result and refresh the manifest.
 
@@ -186,11 +231,13 @@ class ArtifactStore:
             "schema": ARTIFACT_SCHEMA,
             "experiment_id": result.experiment_id,
             "scale": float(scale),
-            "cache_key": cache_key(result.experiment_id, scale),
+            "cache_key": cache_key(result.experiment_id, scale, overrides),
             "wall_time_s": wall_time_s,
             "result": result_to_dict(result),
         }
-        path = self.artifact_path(result.experiment_id)
+        if overrides:
+            envelope["overrides"] = canonical_overrides(overrides)
+        path = self.artifact_path(result.experiment_id, overrides)
         self._write_atomic(path, json.dumps(envelope, indent=2, sort_keys=True))
         if update_manifest:
             self.refresh_manifest()
@@ -228,18 +275,22 @@ class ArtifactStore:
     # -- read ---------------------------------------------------------------
 
     def experiment_ids(self) -> list[str]:
-        """Ids of the experiments with an artifact in the store, sorted."""
+        """Ids of the experiments with an as-published artifact, sorted.
+
+        Artifacts of overridden (``--set``) runs are cache-only and excluded:
+        the manifest and ``report --from`` reflect the published reproduction.
+        """
         if not self.root.is_dir():
             return []
         return sorted(
             path.stem
             for path in self.root.glob("*.json")
-            if path.name != MANIFEST_NAME
+            if path.name != MANIFEST_NAME and "@set-" not in path.stem
         )
 
-    def load_envelope(self, experiment_id: str) -> dict:
+    def load_envelope(self, experiment_id: str, overrides: Mapping | None = None) -> dict:
         """The full artifact envelope (schema, scale, wall time, result...)."""
-        path = self.artifact_path(experiment_id)
+        path = self.artifact_path(experiment_id, overrides)
         if not path.is_file():
             raise FileNotFoundError(f"no artifact for {experiment_id!r} in {self.root}")
         envelope = json.loads(path.read_text(encoding="utf-8"))
@@ -262,27 +313,33 @@ class ArtifactStore:
 
     # -- cache --------------------------------------------------------------
 
-    def cached_envelope(self, experiment_id: str, scale: float) -> dict | None:
-        """The artifact envelope for ``(experiment_id, scale)``, or ``None``.
+    def cached_envelope(
+        self, experiment_id: str, scale: float, overrides: Mapping | None = None
+    ) -> dict | None:
+        """The artifact envelope for ``(experiment_id, scale, overrides)``, or ``None``.
 
         A single disk read serves cache-validity, result, and wall time;
         unreadable or mismatched artifacts are a miss, never an error.
         """
         try:
-            envelope = self.load_envelope(experiment_id)
+            envelope = self.load_envelope(experiment_id, overrides)
         except (OSError, ValueError, KeyError):
             return None
-        if envelope.get("cache_key") != cache_key(experiment_id, scale):
+        if envelope.get("cache_key") != cache_key(experiment_id, scale, overrides):
             return None
         return envelope
 
-    def has(self, experiment_id: str, scale: float) -> bool:
-        """Whether a cached artifact exists for ``(experiment_id, scale)``."""
-        return self.cached_envelope(experiment_id, scale) is not None
+    def has(
+        self, experiment_id: str, scale: float, overrides: Mapping | None = None
+    ) -> bool:
+        """Whether a cached artifact exists for ``(experiment_id, scale, overrides)``."""
+        return self.cached_envelope(experiment_id, scale, overrides) is not None
 
-    def load_cached(self, experiment_id: str, scale: float) -> ExperimentResult | None:
-        """The cached result for ``(experiment_id, scale)``, or ``None``."""
-        envelope = self.cached_envelope(experiment_id, scale)
+    def load_cached(
+        self, experiment_id: str, scale: float, overrides: Mapping | None = None
+    ) -> ExperimentResult | None:
+        """The cached result for ``(experiment_id, scale, overrides)``, or ``None``."""
+        envelope = self.cached_envelope(experiment_id, scale, overrides)
         return None if envelope is None else result_from_dict(envelope["result"])
 
     def scales(self) -> list[float]:
@@ -293,13 +350,23 @@ class ArtifactStore:
         return sorted(values)
 
     def prune(self, keep: Iterable[str]) -> list[str]:
-        """Delete artifacts not in ``keep``; returns the removed ids."""
+        """Delete artifacts whose experiment id is not in ``keep``.
+
+        Override artifacts (``<id>@set-<digest>.json``) are pruned by their
+        base experiment id, so exploratory ``--set`` sweeps do not
+        accumulate unremovable files.  Returns the removed artifact stems.
+        """
         keep_set = set(keep)
         removed = []
-        for experiment_id in self.experiment_ids():
-            if experiment_id not in keep_set:
-                self.artifact_path(experiment_id).unlink()
-                removed.append(experiment_id)
+        if not self.root.is_dir():
+            return removed
+        for path in sorted(self.root.glob("*.json")):
+            if path.name == MANIFEST_NAME:
+                continue
+            base_id = path.stem.split("@set-", 1)[0]
+            if base_id not in keep_set:
+                path.unlink()
+                removed.append(path.stem)
         if removed:
             self.refresh_manifest()
         return removed

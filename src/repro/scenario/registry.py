@@ -1,0 +1,64 @@
+"""Named-scenario registry.
+
+Every experiment module registers the base scenario(s) its figure expands,
+keyed by a stable name (``"fig07"``, ``"interference_theta_ost/shared"``...),
+as a *builder* parameterised by the usual node-count scale divisor.  The CLI
+uses this for ``repro scenario show NAME`` and ``repro scenario list``; users
+start from a shown scenario, edit the JSON, and run it back through
+``repro scenario run``.
+"""
+
+from __future__ import annotations
+
+from difflib import get_close_matches
+from typing import Callable
+
+from repro.scenario.spec import Scenario
+
+#: Registered builders: name -> (builder(scale) -> Scenario, description).
+_SCENARIOS: dict[str, tuple[Callable[[float], Scenario], str]] = {}
+
+
+def register_scenario(
+    name: str, builder: Callable[[float], Scenario], description: str = ""
+) -> None:
+    """Register a named scenario builder (last registration wins)."""
+    _SCENARIOS[name] = (builder, description)
+
+
+def _load_builtin() -> None:
+    """Populate the registry with the experiment modules' base scenarios."""
+    # The experiment modules register their scenarios at import; importing
+    # the harness imports all of them exactly once.
+    import repro.experiments.harness  # noqa: F401
+
+
+def scenario_ids() -> list[str]:
+    """All registered scenario names."""
+    _load_builtin()
+    return list(_SCENARIOS)
+
+
+def describe_scenarios() -> dict[str, str]:
+    """One-line description per registered scenario name."""
+    _load_builtin()
+    return {name: description for name, (_, description) in _SCENARIOS.items()}
+
+
+def get_scenario(name: str, *, scale: float = 1.0) -> Scenario:
+    """Build a registered scenario by name.
+
+    Args:
+        name: a registered scenario name (see :func:`scenario_ids`).
+        scale: node-count divisor (1.0 = the paper's scale).
+
+    Raises:
+        KeyError: for an unknown name (with a did-you-mean hint).
+    """
+    _load_builtin()
+    if name not in _SCENARIOS:
+        matches = get_close_matches(name, list(_SCENARIOS), n=3)
+        hint = f"; did you mean {', '.join(map(repr, matches))}?" if matches else ""
+        raise KeyError(f"unknown scenario {name!r}{hint}")
+    builder, _ = _SCENARIOS[name]
+    return builder(scale)

@@ -1,0 +1,135 @@
+"""Sweeps: a figure is a base scenario plus axes.
+
+A :class:`Sweep` expands a base :class:`~repro.scenario.spec.Scenario` into
+the grid of scenarios a figure plots.  Each :func:`axis` sweeps one dotted
+spec field (``"workload.bytes_per_rank"``, ``"io.aggregators_per_ost"``);
+axes combine as a cartesian product, in declaration order (the last axis
+varies fastest).  :func:`zipped` locks several axes together so they advance
+in lockstep — e.g. Table I's buffer sizes with their ratio labels — and the
+zipped group participates in the product as a single axis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.scenario.spec import Scenario, ScenarioError, apply_overrides
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept field: a dotted path and the values it takes."""
+
+    field: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        require(bool(self.field), "axis field must be non-empty")
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        require(len(self.values) > 0, f"axis {self.field!r} has no values")
+
+    def points(self) -> list[dict[str, Any]]:
+        """The axis as a list of single-field override mappings."""
+        return [{self.field: value} for value in self.values]
+
+
+@dataclass(frozen=True)
+class ZippedAxes:
+    """Several axes advanced in lockstep (all must have the same length)."""
+
+    axes: tuple[Axis, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.axes, tuple):
+            object.__setattr__(self, "axes", tuple(self.axes))
+        require(len(self.axes) >= 2, "zipped() needs at least two axes")
+        lengths = {len(axis.values) for axis in self.axes}
+        if len(lengths) != 1:
+            detail = ", ".join(f"{a.field}={len(a.values)}" for a in self.axes)
+            raise ScenarioError(f"zipped axes must have equal lengths ({detail})")
+
+    def points(self) -> list[dict[str, Any]]:
+        """One merged override mapping per lockstep position."""
+        return [
+            {axis.field: axis.values[index] for axis in self.axes}
+            for index in range(len(self.axes[0].values))
+        ]
+
+
+def axis(field: str, values: Sequence[Any]) -> Axis:
+    """Sweep ``field`` (dotted path) over ``values``."""
+    return Axis(field, tuple(values))
+
+
+def zipped(*axes: Axis) -> ZippedAxes:
+    """Advance several axes in lockstep instead of taking their product."""
+    return ZippedAxes(tuple(axes))
+
+
+class Sweep:
+    """A cartesian product of axes (and zipped axis groups) over a scenario.
+
+    Args:
+        *axes: :class:`Axis` / :class:`ZippedAxes` instances, outermost
+            first (the last one varies fastest, like nested for loops).
+    """
+
+    def __init__(self, *axes: Axis | ZippedAxes) -> None:
+        require(len(axes) > 0, "a sweep needs at least one axis")
+        self.axes: tuple[Axis | ZippedAxes, ...] = tuple(axes)
+
+    def swept_fields(self) -> set[str]:
+        """The dotted fields this sweep writes at every grid point."""
+        fields: set[str] = set()
+        for entry in self.axes:
+            if isinstance(entry, ZippedAxes):
+                fields.update(a.field for a in entry.axes)
+            else:
+                fields.add(entry.field)
+        return fields
+
+    def reject_overrides(self, overrides: Mapping[str, Any] | None) -> None:
+        """Refuse user overrides of fields this sweep is about to clobber.
+
+        An override of a swept field would be silently overwritten by the
+        grid expansion — the run would be byte-identical to the unmodified
+        experiment while being cached under an override key.  Failing loudly
+        keeps the spec module's promise that a ``--set`` either takes effect
+        or errors.
+        """
+        collisions = sorted(set(overrides or ()) & self.swept_fields())
+        if collisions:
+            raise ScenarioError(
+                f"cannot override swept field(s) {', '.join(map(repr, collisions))}: "
+                f"this experiment's sweep sets them at every grid point"
+            )
+
+    def overrides(self) -> list[dict[str, Any]]:
+        """Every grid point as one merged override mapping."""
+        merged = []
+        for combination in itertools.product(*(a.points() for a in self.axes)):
+            point: dict[str, Any] = {}
+            for partial in combination:
+                point.update(partial)
+            merged.append(point)
+        return merged
+
+    def size(self) -> int:
+        """Number of scenarios the sweep expands to."""
+        total = 1
+        for a in self.axes:
+            total *= len(a.points())
+        return total
+
+    def expand(self, base: Scenario) -> list[Scenario]:
+        """The grid of scenarios: the base with each grid point applied."""
+        return [apply_overrides(base, point) for point in self.overrides()]
+
+    def walk(self, base: Scenario) -> Iterator[tuple[Mapping[str, Any], Scenario]]:
+        """Iterate ``(grid_point, scenario)`` pairs, product order."""
+        for point in self.overrides():
+            yield point, apply_overrides(base, point)

@@ -1,0 +1,31 @@
+"""Node-count scaling for reduced-scale experiment runs.
+
+Every experiment models the paper's node counts (512-4,096 nodes) but must
+also run quickly in tests and CI smoke jobs.  :func:`scaled_nodes` divides a
+paper-scale node count by a ``scale`` divisor while preserving the machine's
+allocation granularity (Pset multiples on Mira, router multiples on Theta),
+so the qualitative checks hold at any scale.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_positive
+
+
+def scaled_nodes(nodes: int, scale: float, *, multiple: int = 1) -> int:
+    """Scale a node count down by ``scale``, keeping it a multiple of ``multiple``.
+
+    Args:
+        nodes: the paper-scale node count.
+        scale: divisor (> 0); ``1.0`` keeps the paper's scale.
+        multiple: allocation granularity the result must stay a multiple of
+            (and never drop below).
+
+    Returns:
+        ``max(multiple, round(nodes / scale))`` floored to ``multiple``.
+    """
+    require_positive(scale, "scale")
+    scaled = max(multiple, int(round(nodes / scale)))
+    if multiple > 1:
+        scaled = max(multiple, (scaled // multiple) * multiple)
+    return scaled

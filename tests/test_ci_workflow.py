@@ -43,6 +43,19 @@ class TestWorkflowShape:
             assert setup[0]["with"].get("cache") == "pip", name
             assert "cache-dependency-path" in setup[0]["with"], name
 
+    def test_every_job_tests_python_311_and_312(self, workflow):
+        for name, job in workflow["jobs"].items():
+            versions = job.get("strategy", {}).get("matrix", {}).get("python-version")
+            assert versions, f"job {name} has no python-version matrix"
+            assert set(versions) >= {"3.11", "3.12"}, name
+            setup = [
+                s for s in job["steps"] if "setup-python" in str(s.get("uses", ""))
+            ]
+            assert (
+                setup[0]["with"]["python-version"]
+                == "${{ matrix.python-version }}"
+            ), name
+
     def test_smoke_job_gates_on_an_interference_experiment(self, workflow):
         commands = [
             s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]
@@ -54,6 +67,17 @@ class TestWorkflowShape:
         ]
         assert interference, "smoke job must gate on an interference_* experiment"
         assert "--scale 8" in interference[0]
+
+    def test_smoke_job_gates_on_a_scenario_json_run(self, workflow):
+        commands = [
+            s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]
+        ]
+        scenario = [c for c in commands if "repro scenario run" in c]
+        assert scenario, "smoke job must run a scenario JSON file"
+        example = scenario[0].split("repro scenario run", 1)[1].strip().split()[0]
+        assert example.endswith(".json")
+        repo_root = Path(__file__).resolve().parent.parent
+        assert (repo_root / example).is_file(), f"{example} is missing"
 
     def test_smoke_job_runs_run_all_and_uploads_artifacts(self, workflow):
         steps = workflow["jobs"]["smoke"]["steps"]
