@@ -1,0 +1,58 @@
+"""Benchmark: autotuner candidate-evaluation throughput at smoke scale.
+
+Unlike the figure benchmarks (which reproduce the paper at full scale),
+this file measures the *tuner's* overhead: how many candidate scenarios per
+second the random-search driver pushes through the simulation facade at the
+smoke scale CI uses.  Later PRs that touch the spec layer, the simulation
+facade, or the tuner itself can compare this number to catch regressions
+in the per-candidate cost.
+"""
+
+from __future__ import annotations
+
+from repro.autotune import TuneTarget, Tuner, theta_mpiio_space
+from repro.experiments.autotuning import TUNING_SEED, tuning_theta_scenario
+
+#: The tuner benchmark always runs at smoke scale: the point is the
+#: per-candidate overhead, not the model's full-scale cost.
+SMOKE_SCALE = 8.0
+
+#: Candidate evaluations per run; small enough for CI, large enough to
+#: amortise the machine-model build.
+BUDGET = 24
+
+#: Conservative floor (points/second).  In-process evaluation of a 64-node
+#: Theta scenario runs in single-digit milliseconds; anything below this
+#: means the tuner (not the model) became the bottleneck.
+MIN_POINTS_PER_SECOND = 20.0
+
+
+def test_random_search_throughput(benchmark):
+    def tune():
+        tuner = Tuner(
+            TuneTarget(
+                name="tuning_theta_rediscovery",
+                builder=tuning_theta_scenario,
+                scale=SMOKE_SCALE,
+            ),
+            theta_mpiio_space(),
+            "bandwidth",
+            seed=TUNING_SEED,
+        )
+        return tuner.tune("random", BUDGET)
+
+    trace = benchmark.pedantic(tune, rounds=1, iterations=1)
+    assert len(trace.points) == BUDGET
+    assert trace.invalid_points() == 0
+    assert trace.best_value is not None and trace.best_value > 0
+    points_per_second = len(trace.points) / trace.wall_time_s
+    print()
+    print(
+        f"candidate evaluation throughput: {points_per_second:,.0f} points/s "
+        f"({len(trace.points)} points in {trace.wall_time_s:.3f}s at "
+        f"scale {SMOKE_SCALE:g})"
+    )
+    assert points_per_second >= MIN_POINTS_PER_SECOND, (
+        f"tuner throughput regressed: {points_per_second:.1f} points/s "
+        f"(floor: {MIN_POINTS_PER_SECOND})"
+    )

@@ -1,0 +1,74 @@
+"""Rediscover the paper's optimized Theta MPI-IO settings by search.
+
+Starts from Theta's untuned defaults (1 OST, 1 MiB stripes, one aggregator
+per OST, no lock sharing — the Fig. 8 baseline) and runs two autotuning
+strategies over the Section V-B parameter space: seeded random search and
+coordinate-descent hill climbing.  Both should land in the regime of the
+paper's hand-tuned preset — 48 OSTs, matched stripe/buffer sizes, shared
+locks — and print the best-so-far curve that got them there.
+
+Usage::
+
+    python examples/autotune_theta.py [scale] [budget]
+
+``scale`` is the usual node-count divisor (default 8: 64 of the paper's
+512 nodes, fast enough for a laptop); ``budget`` caps the candidate
+evaluations per strategy (default 32, out of a 200-point space).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.autotune import TuneTarget, Tuner, theta_mpiio_space
+from repro.experiments.autotuning import TUNING_SEED, tuning_theta_scenario
+from repro.scenario.simulation import Simulation
+from repro.utils.units import MIB
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 8.0
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+
+    base = tuning_theta_scenario(scale)
+    baseline = Simulation(base).estimate().bandwidth_gbps()
+    space = theta_mpiio_space()
+    print(
+        f"Tuning IOR on {base.machine.num_nodes} Theta nodes: "
+        f"{space.size()}-point space, budget {budget} per strategy"
+    )
+    print(
+        f"Untuned baseline (1 OST, 1 MiB stripes, no lock sharing): "
+        f"{baseline:.3f} GBps"
+    )
+
+    for strategy in ("random", "hill-climb"):
+        tuner = Tuner(
+            TuneTarget(
+                name="autotune_theta", builder=tuning_theta_scenario, scale=scale
+            ),
+            space,
+            "bandwidth",
+            seed=TUNING_SEED,
+        )
+        trace = tuner.tune(strategy, budget)
+        best = trace.best_point()
+        print()
+        print(trace.to_table(last=8).render())
+        print(
+            f"{strategy}: best {best.value:.3f} GBps "
+            f"({best.value / baseline:.0f}x the baseline) at "
+            f"{best.overrides['storage.stripe_count']} OSTs, "
+            f"{best.overrides['storage.stripe_size'] // MIB} MiB stripes, "
+            f"{best.overrides['io.aggregators_per_ost']} aggregators/OST, "
+            f"shared locks: {best.overrides['io.shared_locks']}"
+        )
+    print()
+    print(
+        "Paper preset (Section V-B): 48 OSTs, 8 MiB stripes, "
+        "2 aggregators/OST per 512 nodes, shared locks"
+    )
+
+
+if __name__ == "__main__":
+    main()

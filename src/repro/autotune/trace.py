@@ -1,0 +1,179 @@
+"""Tuning traces: the full record of one tuning run.
+
+A :class:`TuningTrace` holds every candidate point a
+:class:`~repro.autotune.tuner.Tuner` evaluated — its overrides, fidelity,
+objective value, whether it came from the artifact-store cache — plus the
+best-so-far curve, so a tune is as replayable and reportable as a figure
+reproduction.  Traces round-trip through JSON (``to_dict``/``from_dict``)
+and are persisted next to experiment artifacts as ``<target>.tuning.json``,
+where ``repro report --from`` picks them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.utils.tables import Table
+
+#: Version stamp embedded in serialised traces.
+TRACE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One evaluated candidate.
+
+    Attributes:
+        index: 0-based evaluation order.
+        overrides: the candidate point (JSON-safe override mapping).
+        fidelity: node-count divisor *relative to the target scale* (1.0 =
+            full fidelity; successive halving probes coarser rungs first).
+        num_nodes: machine size the point was evaluated at.
+        value: objective value, or ``None`` for invalid/skipped points.
+        cached: whether the value came from the artifact-store point cache.
+        best_so_far: best full-fidelity value after this evaluation.
+        error: the validation error of an invalid point, if any.
+    """
+
+    index: int
+    overrides: dict
+    fidelity: float
+    num_nodes: int
+    value: float | None
+    cached: bool = False
+    best_so_far: float | None = None
+    error: str | None = None
+
+
+@dataclass
+class TuningTrace:
+    """The complete record of one tuning run."""
+
+    target: str
+    strategy: str
+    objective: str
+    direction: str
+    seed: int
+    budget: int
+    scale: float
+    space: dict = field(default_factory=dict)
+    points: list[TracePoint] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    # -- outcomes -----------------------------------------------------------
+
+    def full_fidelity_points(self) -> list[TracePoint]:
+        """The valid points evaluated at the target fidelity."""
+        return [
+            point
+            for point in self.points
+            if point.value is not None and point.fidelity == 1.0
+        ]
+
+    def best_point(self) -> TracePoint | None:
+        """The best valid full-fidelity point, or ``None`` if none exists."""
+        candidates = self.full_fidelity_points()
+        if not candidates:
+            return None
+        if self.direction == "max":
+            return max(candidates, key=lambda point: point.value)
+        return min(candidates, key=lambda point: point.value)
+
+    @property
+    def best_value(self) -> float | None:
+        """Objective value of the best point (``None`` if nothing valid)."""
+        best = self.best_point()
+        return None if best is None else best.value
+
+    @property
+    def best_overrides(self) -> dict:
+        """Override mapping of the best point (empty if nothing valid)."""
+        best = self.best_point()
+        return {} if best is None else dict(best.overrides)
+
+    def best_curve(self) -> list[tuple[int, float]]:
+        """``(index, best_so_far)`` per full-fidelity evaluation, in order."""
+        return [
+            (point.index, point.best_so_far)
+            for point in self.points
+            if point.fidelity == 1.0 and point.best_so_far is not None
+        ]
+
+    def evaluations(self) -> int:
+        """Points actually simulated (cache hits excluded)."""
+        return sum(
+            1 for point in self.points if not point.cached and point.error is None
+        )
+
+    def cache_hits(self) -> int:
+        """Points served from the artifact-store point cache."""
+        return sum(1 for point in self.points if point.cached)
+
+    def invalid_points(self) -> int:
+        """Candidate points the scenario tree rejected."""
+        return sum(1 for point in self.points if point.error is not None)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serialisable; inverse of :meth:`from_dict`)."""
+        payload = asdict(self)
+        payload["schema"] = TRACE_SCHEMA
+        payload["best_value"] = self.best_value
+        payload["best_overrides"] = self.best_overrides
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TuningTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        points = [TracePoint(**entry) for entry in payload.get("points", [])]
+        return cls(
+            target=payload["target"],
+            strategy=payload["strategy"],
+            objective=payload["objective"],
+            direction=payload["direction"],
+            seed=payload["seed"],
+            budget=payload["budget"],
+            scale=payload["scale"],
+            space=dict(payload.get("space", {})),
+            points=points,
+            wall_time_s=payload.get("wall_time_s", 0.0),
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def summary(self) -> str:
+        """A short human-readable account of the run (for the CLI)."""
+        lines = [
+            f"tuned {self.target} with {self.strategy} "
+            f"(objective: {self.objective} [{self.direction}], "
+            f"budget {self.budget}, seed {self.seed})",
+            f"  {len(self.points)} points: {self.evaluations()} evaluated, "
+            f"{self.cache_hits()} cache hits, {self.invalid_points()} invalid "
+            f"({self.wall_time_s:.2f}s)",
+        ]
+        best = self.best_point()
+        if best is None:
+            lines.append("  no valid candidate found")
+            return "\n".join(lines)
+        lines.append(f"  best {self.objective}: {best.value:.4g}")
+        for key in sorted(best.overrides):
+            lines.append(f"    {key} = {best.overrides[key]}")
+        return "\n".join(lines)
+
+    def to_table(self, *, last: int | None = None) -> Table:
+        """The best-so-far curve as a table (optionally only the last rows)."""
+        table = Table(
+            headers=["eval #", self.objective, "best so far"],
+            title=f"{self.target}: {self.strategy} tuning trace",
+        )
+        rows = [
+            (point.index, point.value, point.best_so_far)
+            for point in self.points
+            if point.fidelity == 1.0 and point.value is not None
+        ]
+        if last is not None:
+            rows = rows[-last:]
+        for index, value, best in rows:
+            table.add_row(index, round(value, 4), round(best, 4))
+        return table

@@ -1,0 +1,397 @@
+"""The tuning driver: budgeted, cached, parallel candidate evaluation.
+
+:class:`Tuner` glues the pieces together: a :class:`TuneTarget` (a scenario
+builder parameterised by the usual ``--scale`` divisor, so multi-fidelity
+strategies can buy cheap evaluations at reduced node counts), a
+:class:`~repro.autotune.space.SearchSpace`, an
+:class:`~repro.autotune.objectives.Objective`, and a
+:class:`~repro.autotune.strategies.Strategy`.  Candidate batches fan out
+over worker processes via
+:func:`repro.experiments.runner.evaluate_candidates`, and every evaluated
+point is persisted in the :class:`~repro.experiments.store.ArtifactStore`
+keyed by ``(scenario hash, objective)`` — resuming an interrupted or
+re-parameterised tune skips every point already paid for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.autotune.objectives import Objective, default_objective, get_objective
+from repro.autotune.space import AutotuneError, SearchSpace, canonical_point
+from repro.autotune.strategies import Strategy, get_strategy
+from repro.autotune.trace import TracePoint, TuningTrace
+from repro.machine.mira import MIRA_PSET_SIZE
+from repro.scenario.registry import get_scenario
+from repro.scenario.spec import Scenario, ScenarioError
+from repro.utils.rng import DEFAULT_SEED, derive_seed
+from repro.utils.scaling import scaled_nodes
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.store import ArtifactStore
+
+
+def point_digest(scenario: Scenario, objective: str) -> str:
+    """Content-address of one candidate evaluation.
+
+    A SHA-256 digest of the canonical ``(scenario, objective)`` pair: two
+    evaluations with the same digest are by construction the same scenario
+    judged by the same objective, whatever sweep/tune/strategy produced
+    them, and may share a cached value.
+    """
+    canonical = json.dumps(
+        {"scenario": scenario.to_dict(), "objective": objective}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def rescale_scenario(scenario: Scenario, divisor: float) -> Scenario:
+    """A copy of ``scenario`` with node counts divided by ``divisor``.
+
+    Granularity follows the machine: Mira allocations stay Pset multiples,
+    everything else stays a multiple of 4 (a Theta router / generic leaf
+    quantum).  Multi-job scenarios rescale every job and keep the machine
+    large enough to host them all.
+    """
+    if divisor == 1.0:
+        return scenario
+    machine = scenario.machine
+    multiple = (machine.pset_size or MIRA_PSET_SIZE) if machine.kind == "mira" else 4
+    overrides: dict[str, Any] = {}
+    machine_nodes = scaled_nodes(machine.num_nodes, divisor, multiple=multiple)
+    if scenario.multijob is not None:
+        job_nodes = []
+        for index, job in enumerate(scenario.multijob.jobs):
+            nodes = scaled_nodes(job.num_nodes, divisor, multiple=4)
+            job_nodes.append(nodes)
+            overrides[f"multijob.jobs.{index}.num_nodes"] = nodes
+        machine_nodes = max(machine_nodes, sum(job_nodes))
+    overrides["machine.num_nodes"] = machine_nodes
+    return scenario.with_overrides(overrides)
+
+
+@dataclass(frozen=True)
+class TuneTarget:
+    """What gets tuned: a named scenario builder at a target scale.
+
+    Attributes:
+        name: label for traces and artifacts (experiment id, registry name,
+            or a JSON file's stem).
+        builder: maps a node-count divisor to a concrete scenario — the
+            same contract as the registry's scenario builders.
+        scale: the target fidelity's divisor (1.0 = the paper's scale);
+            multi-fidelity strategies multiply it by their rung divisors.
+    """
+
+    name: str
+    builder: Callable[[float], Scenario]
+    scale: float = 1.0
+
+    @classmethod
+    def from_registry(cls, name: str, *, scale: float = 1.0) -> "TuneTarget":
+        """Target a registered scenario by name (``KeyError`` + hint if unknown)."""
+        get_scenario(name, scale=scale)  # fail fast, with the did-you-mean hint
+        return cls(
+            name=name,
+            builder=lambda divisor: get_scenario(name, scale=divisor),
+            scale=scale,
+        )
+
+    @classmethod
+    def from_scenario(
+        cls, scenario: Scenario, *, scale: float = 1.0, name: str | None = None
+    ) -> "TuneTarget":
+        """Target a fixed scenario (e.g. parsed from JSON).
+
+        The fidelity knob rescales the scenario's node counts relative to
+        its own size via :func:`rescale_scenario`.
+        """
+        return cls(
+            name=name or scenario.id,
+            builder=lambda divisor: rescale_scenario(scenario, divisor),
+            scale=scale,
+        )
+
+    def scenario(self, fidelity: float = 1.0) -> Scenario:
+        """The concrete scenario at a fidelity rung (1.0 = target scale)."""
+        return self.builder(self.scale * fidelity)
+
+
+class TunerRun:
+    """The evaluation interface a strategy drives (one per ``tune`` call).
+
+    Attributes:
+        space: the search space being explored.
+        objective: the objective being optimised.
+        seed: the run's root seed (strategies derive substreams from it).
+    """
+
+    def __init__(
+        self,
+        tuner: "Tuner",
+        strategy: Strategy,
+        budget: int,
+        seed: int,
+    ) -> None:
+        self.space = tuner.space
+        self.objective = tuner.objective
+        self.seed = seed
+        self._tuner = tuner
+        self._budget = budget
+        self._spent = 0
+        self._memo: dict[tuple[str, float], float | None] = {}
+        self._bases: dict[float, Scenario] = {}
+        self._best: float | None = None
+        self.trace = TuningTrace(
+            target=tuner.target.name,
+            strategy=strategy.name,
+            objective=tuner.objective.name,
+            direction=tuner.objective.direction,
+            seed=seed,
+            budget=budget,
+            scale=tuner.target.scale,
+            space=tuner.space.describe(),
+        )
+
+    # -- budget -------------------------------------------------------------
+
+    def remaining(self) -> int:
+        """Distinct candidate evaluations still affordable."""
+        return self._budget - self._spent
+
+    def start_point(self) -> dict[str, Any]:
+        """The grid point matching the base scenario's own settings."""
+        return self.space.point_of(self._base(1.0))
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _base(self, fidelity: float) -> Scenario:
+        if fidelity not in self._bases:
+            self._bases[fidelity] = self._tuner.target.scenario(fidelity)
+        return self._bases[fidelity]
+
+    def evaluate(
+        self, points: list[Mapping[str, Any]], *, fidelity: float = 1.0
+    ) -> list[float | None]:
+        """Objective values for a batch of candidate points.
+
+        Within-run repeats are memoised (free); new points consume budget —
+        points beyond the remaining budget come back as ``None``.  Fresh
+        evaluations fan out over the tuner's worker processes; previously
+        persisted points are served from the artifact store's point cache
+        instead of re-simulating.
+        """
+        # Imported lazily: the experiments package imports the autotuning
+        # experiments, which import this module — the runner's fan-out is
+        # only needed once a candidate actually evaluates.
+        from repro.experiments.runner import evaluate_candidates
+        from repro.experiments.store import canonical_overrides
+
+        values: list[float | None] = [None] * len(points)
+        pending: list[dict] = []  # queued for the parallel fan-out
+        recorded: list[dict] = []  # trace entries in proposal order
+        base = self._base(fidelity)
+        for position, point in enumerate(points):
+            memo_key = (canonical_point(point), fidelity)
+            if memo_key in self._memo:
+                values[position] = self._memo[memo_key]
+                continue
+            if self.remaining() <= 0:
+                continue
+            self._spent += 1
+            entry: dict[str, Any] = {
+                "position": position,
+                "memo_key": memo_key,
+                "overrides": canonical_overrides(dict(point)) or {},
+                "value": None,
+                "cached": False,
+                "error": None,
+                "num_nodes": base.machine.num_nodes,
+            }
+            try:
+                scenario = self.space.apply(base, point)
+            except ScenarioError as error:
+                entry["error"] = str(error)
+                recorded.append(entry)
+                continue
+            entry["num_nodes"] = scenario.machine.num_nodes
+            digest = point_digest(scenario, self.objective.name)
+            entry["digest"] = digest
+            cached = self._tuner.cached_value(digest)
+            if cached is not None:
+                entry["value"], entry["error"] = cached
+                entry["cached"] = True
+            else:
+                entry["scenario"] = scenario
+                pending.append(entry)
+            recorded.append(entry)
+
+        if pending:
+            outcomes = evaluate_candidates(
+                [entry["scenario"].to_dict() for entry in pending],
+                self.objective.name,
+                jobs=self._tuner.jobs,
+            )
+            for entry, (ok, outcome) in zip(pending, outcomes):
+                if ok:
+                    entry["value"] = outcome
+                else:
+                    entry["error"] = outcome
+                self._tuner.persist_point(entry)
+
+        for entry in recorded:
+            value = entry["value"]
+            self._memo[entry["memo_key"]] = value
+            values[entry["position"]] = value
+            if (
+                value is not None
+                and fidelity == 1.0
+                and self.objective.better(value, self._best)
+            ):
+                self._best = value
+            self.trace.points.append(
+                TracePoint(
+                    index=len(self.trace.points),
+                    overrides=entry["overrides"],
+                    fidelity=fidelity,
+                    num_nodes=entry["num_nodes"],
+                    value=value,
+                    cached=entry["cached"],
+                    best_so_far=self._best if fidelity == 1.0 else None,
+                    error=entry["error"],
+                )
+            )
+        return values
+
+
+class Tuner:
+    """Cost-model-driven search over a scenario's parameter space.
+
+    Args:
+        target: what to tune (see :class:`TuneTarget`).
+        space: the candidate space.
+        objective: an :class:`Objective`, its registry name, or ``None``
+            for the scenario's natural objective.
+        store: artifact store for per-point caching and trace persistence
+            (``None`` disables both).
+        jobs: worker processes for candidate fan-out (1 = in-process).
+        seed: root seed; every stochastic strategy derives its substreams
+            from it via :func:`repro.utils.rng.derive_seed`.
+    """
+
+    def __init__(
+        self,
+        target: TuneTarget,
+        space: SearchSpace,
+        objective: Objective | str | None = None,
+        *,
+        store: "ArtifactStore | None" = None,
+        jobs: int = 1,
+        seed: int | None = None,
+    ) -> None:
+        self.target = target
+        self.space = space
+        base = target.scenario()
+        if objective is None:
+            objective = default_objective(base)
+        elif isinstance(objective, str):
+            objective = get_objective(objective)
+        if objective.multijob != (base.multijob is not None):
+            kind = "a multi-job" if objective.multijob else "a single-job"
+            raise ScenarioError(
+                f"objective {objective.name!r} needs {kind} scenario, but "
+                f"target {target.name!r} is "
+                f"{'multi' if base.multijob else 'single'}-job"
+            )
+        self.objective = objective
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.seed = DEFAULT_SEED if seed is None else int(seed)
+        # Surface typo'd field paths now (with did-you-mean), not mid-search.
+        space.validate_on(base)
+
+    def tune(self, strategy: Strategy | str, budget: int) -> TuningTrace:
+        """Run one tuning search and return its trace.
+
+        Args:
+            strategy: a :class:`Strategy` or its registry name.
+            budget: maximum number of distinct candidate evaluations
+                (cache hits count — they are points of the trace — but
+                cost no simulation time).
+        """
+        require(budget > 0, f"budget must be positive, got {budget}")
+        if isinstance(strategy, str):
+            strategy = get_strategy(strategy)
+        run_seed = derive_seed(self.seed, "autotune", self.target.name, strategy.name)
+        run = TunerRun(self, strategy, budget, run_seed)
+        start = time.perf_counter()
+        strategy.search(run)
+        run.trace.wall_time_s = round(time.perf_counter() - start, 6)
+        if self.store is not None:
+            self.store.save_tuning_trace(self.target.name, run.trace.to_dict())
+        return run.trace
+
+    # -- point cache --------------------------------------------------------
+
+    def cached_value(self, digest: str) -> tuple[float | None, str | None] | None:
+        """``(value, error)`` of a previously persisted point, or ``None``."""
+        if self.store is None:
+            return None
+        payload = self.store.load_tuning_point(digest)
+        if payload is None:
+            return None
+        return payload.get("value"), payload.get("error")
+
+    def persist_point(self, entry: Mapping[str, Any]) -> None:
+        """Persist one freshly evaluated point into the store."""
+        if self.store is None:
+            return
+        self.store.save_tuning_point(
+            entry["digest"],
+            {
+                "scenario_id": entry["scenario"].id,
+                "objective": self.objective.name,
+                "num_nodes": entry["num_nodes"],
+                "value": entry["value"],
+                "error": entry["error"],
+            },
+        )
+
+
+def tune_scenario(
+    scenario: Scenario,
+    space: SearchSpace,
+    *,
+    strategy: Strategy | str = "random",
+    budget: int = 32,
+    objective: Objective | str | None = None,
+    store: "ArtifactStore | None" = None,
+    jobs: int = 1,
+    seed: int | None = None,
+) -> TuningTrace:
+    """Convenience wrapper: tune one fixed scenario and return the trace."""
+    tuner = Tuner(
+        TuneTarget.from_scenario(scenario),
+        space,
+        objective,
+        store=store,
+        jobs=jobs,
+        seed=seed,
+    )
+    return tuner.tune(strategy, budget)
+
+
+__all__ = [
+    "AutotuneError",
+    "TuneTarget",
+    "Tuner",
+    "TunerRun",
+    "point_digest",
+    "rescale_scenario",
+    "tune_scenario",
+]

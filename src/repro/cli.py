@@ -13,6 +13,9 @@ Usage (after ``pip install -e .``)::
     python -m repro scenario list              # named base scenarios
     python -m repro scenario show fig10        # export a scenario as JSON
     python -m repro scenario run my.json       # run a scenario JSON file
+    python -m repro scenario run fig10 --scale 8   # ...or a registered name
+    python -m repro tune fig08 --strategy random --budget 32 --out artifacts/
+                                               # search the scenario's tuning space
     python -m repro estimate --machine theta --nodes 1024 \
         --particles 25000 --layout soa         # one-off TAPIOCA vs MPI I/O estimate
 
@@ -28,8 +31,14 @@ import argparse
 import json
 import math
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from repro.autotune.defaults import as_tunable, suggest_space
+from repro.autotune.objectives import OBJECTIVES
+from repro.autotune.space import AutotuneError
+from repro.autotune.strategies import strategy_names
+from repro.autotune.tuner import TuneTarget, Tuner, rescale_scenario
 from repro.core.config import TapiocaConfig
 from repro.experiments.harness import (
     describe_experiments,
@@ -208,16 +217,52 @@ def _cmd_scenario_show(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenario_run(args: argparse.Namespace) -> int:
+def _is_scenario_file(source: str) -> bool:
+    """Whether a scenario argument names a JSON file rather than a registry
+    entry.  Registered names may contain ``/`` (``interference_theta_ost/
+    shared``), so only a ``.json`` suffix or a path that actually exists —
+    including non-regular files like ``/dev/stdin`` — counts as a file.
+    """
+    return source.endswith(".json") or Path(source).exists()
+
+
+def _read_scenario_file(parser: argparse.ArgumentParser, source: str) -> Scenario:
     try:
-        with open(args.file, "r", encoding="utf-8") as handle:
+        with open(source, "r", encoding="utf-8") as handle:
             text = handle.read()
     except OSError as error:
-        args.parser.error(f"cannot read scenario file: {error}")
+        parser.error(f"cannot read scenario file: {error}")
+    try:
+        return Scenario.from_json(text)
+    except ScenarioError as error:
+        parser.error(str(error))
+
+
+def _registry_scenario(
+    parser: argparse.ArgumentParser, name: str, scale: float
+) -> Scenario:
+    try:
+        return get_scenario(name, scale=scale)
+    except KeyError as error:
+        parser.error(
+            f"{error.args[0]} (pass a registered scenario name or a .json "
+            f"file path)"
+        )
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
     overrides = _parse_set_args(args.parser, args.set)
     try:
-        scenario = Scenario.from_json(text).with_overrides(overrides)
-        result = Simulation(scenario).run()
+        if _is_scenario_file(args.source):
+            if args.scale != 1.0:
+                args.parser.error(
+                    "--scale applies only to registered scenario names; a "
+                    "JSON file already fixes its node counts"
+                )
+            scenario = _read_scenario_file(args.parser, args.source)
+        else:
+            scenario = _registry_scenario(args.parser, args.source, args.scale)
+        result = Simulation(scenario.with_overrides(overrides)).run()
     except ScenarioError as error:
         args.parser.error(str(error))
     if args.json:
@@ -225,6 +270,57 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     else:
         print(result.render())
     return 0 if result.all_checks_pass() else 1
+
+
+# --------------------------------------------------------------------------- #
+# Autotuning
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    overrides = _parse_set_args(args.parser, args.set)
+    if _is_scenario_file(args.target):
+        raw = _read_scenario_file(args.parser, args.target)
+
+        def builder(divisor: float) -> Scenario:
+            return as_tunable(rescale_scenario(raw, divisor).with_overrides(overrides))
+
+    else:
+
+        def builder(divisor: float) -> Scenario:
+            return as_tunable(
+                get_scenario(args.target, scale=divisor).with_overrides(overrides)
+            )
+
+    store = ArtifactStore(args.out) if args.out else None
+    try:
+        base = builder(args.scale)
+        space = suggest_space(base)
+        space.reject_overrides(overrides)
+        tuner = Tuner(
+            TuneTarget(name=base.id, builder=builder, scale=args.scale),
+            space,
+            args.objective,
+            store=store,
+            jobs=args.jobs,
+            seed=args.seed,
+        )
+        trace = tuner.tune(args.strategy, args.budget)
+    except KeyError as error:
+        # An unknown registry name, with the registry's did-you-mean hint.
+        args.parser.error(
+            f"{error.args[0]} (pass a registered scenario name or a .json "
+            f"file path)"
+        )
+    except (ScenarioError, AutotuneError) as error:
+        args.parser.error(str(error))
+    print(trace.summary())
+    if store is not None:
+        print(f"trace written to {store.tuning_trace_path(base.id)}")
+    if trace.best_point() is None:
+        print("error: no valid candidate found within the budget", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -393,9 +489,20 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_show.set_defaults(func=_cmd_scenario_show, parser=scenario_show)
 
     scenario_run = scenario_sub.add_parser(
-        "run", help="run a scenario described by a JSON file"
+        "run", help="run a scenario: a JSON file or a registered name"
     )
-    scenario_run.add_argument("file", metavar="FILE.json")
+    scenario_run.add_argument(
+        "source",
+        metavar="SCENARIO",
+        help="a scenario JSON file, or a registered scenario name "
+        "(see `repro scenario list`)",
+    )
+    scenario_run.add_argument(
+        "--scale",
+        type=_positive_scale,
+        default=1.0,
+        help="node-count divisor for registered scenario names (> 0)",
+    )
     scenario_run.add_argument(
         "--set",
         action="append",
@@ -408,6 +515,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the experiment result as JSON instead of a table",
     )
     scenario_run.set_defaults(func=_cmd_scenario_run, parser=scenario_run)
+
+    tune_parser = subparsers.add_parser(
+        "tune",
+        help="search a scenario's tuning space (cost-model-driven autotuning)",
+    )
+    tune_parser.add_argument(
+        "target",
+        metavar="TARGET",
+        help="a registered scenario/experiment name or a scenario JSON file",
+    )
+    tune_parser.add_argument(
+        "--strategy",
+        choices=strategy_names(),
+        default="random",
+        help="search strategy (default: random)",
+    )
+    tune_parser.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=32,
+        help="maximum candidate evaluations (default: 32)",
+    )
+    tune_parser.add_argument(
+        "--objective",
+        choices=sorted(OBJECTIVES),
+        default=None,
+        help="optimisation target (default: slowdown for multi-job "
+        "scenarios, bandwidth otherwise)",
+    )
+    tune_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for candidate evaluation (1 = in-process)",
+    )
+    tune_parser.add_argument(
+        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
+    )
+    tune_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed of the stochastic strategies (default: the library seed)",
+    )
+    tune_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory for the tuning trace and the per-point "
+        "cache (resumed tunes skip evaluated points)",
+    )
+    tune_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="pin a scenario field by dotted path before tuning; "
+        "searched fields cannot be pinned; may be repeated",
+    )
+    tune_parser.set_defaults(func=_cmd_tune, parser=tune_parser)
 
     estimate_parser = subparsers.add_parser(
         "estimate", help="one-off TAPIOCA vs MPI I/O estimate (HACC-IO style workload)"

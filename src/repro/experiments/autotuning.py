@@ -1,0 +1,353 @@
+"""Autotuning validation experiments.
+
+Two registered experiments gate the :mod:`repro.autotune` subsystem the way
+figure reproductions gate the performance model:
+
+``tuning_theta_rediscovery``
+    Starting from Theta's *untuned* defaults (1 OST, 1 MiB stripes, one
+    aggregator per OST, no lock sharing), both seeded random search and
+    coordinate-descent hill climbing must land in the regime of the paper's
+    hand-optimized Section V-B preset — 48 OSTs, 8 MiB stripes, 2
+    aggregators/OST (per 512 nodes), shared locks — under a bounded
+    evaluation budget.  Documented tolerances (the model's optimum surface
+    is flat in some directions where the paper picked a single point):
+
+    * stripe count: exactly the preset's 48 (the widest paper-plausible
+      striping in the space);
+    * lock sharing: exactly the preset's ``True``;
+    * stripe size: within a factor of 4 of the preset's 8 MiB at
+      paper-like allocations (>= 256 nodes).  The model is ~5% flat across
+      2-16 MiB once striping is wide and locks shared, and at smoke-scale
+      allocations its optimum genuinely drifts toward 1 MiB stripes, so
+      below 256 nodes this check degrades to the categorical knobs;
+    * aggregators per OST: at least the preset's density at the evaluated
+      node count (``max(1, 2 * nodes / 512)``; the model mildly prefers one
+      or two more than the paper's choice);
+    * objective: within 95% of — in practice above — the expert preset's
+      bandwidth, and at least 10x the untuned baseline's.
+
+``tuning_interference_aware``
+    Re-tuning under multi-job contention must *move* the optimum: a job
+    tuned in isolation is indifferent to where its file's OST stripe is
+    anchored, but with a co-runner pinned to OSTs 0-1 the tuned anchor must
+    shift to a disjoint OST set and restore ~1.0 slowdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.autotune.defaults import theta_mpiio_space
+from repro.autotune.space import Categorical, SearchSpace
+from repro.autotune.trace import TuningTrace
+from repro.autotune.tuner import TuneTarget, Tuner
+from repro.experiments.results import ExperimentResult, Series
+from repro.scenario.registry import register_scenario
+from repro.scenario.simulation import Simulation
+from repro.scenario.spec import (
+    IOStrategySpec,
+    JobScenarioSpec,
+    MachineSpec,
+    MultiJobSpec,
+    Scenario,
+    StorageSpec,
+    WorkloadSpec,
+)
+from repro.utils.scaling import scaled_nodes
+from repro.utils.units import MB, MIB
+
+#: Evaluation budgets of the rediscovery experiment (the searched space has
+#: 200 grid points; the budgets force the strategies to find the optimum
+#: from a fraction of it).
+RANDOM_BUDGET = 48
+HILL_CLIMB_BUDGET = 40
+
+#: Root seed of every tuning experiment (strategies derive substreams).
+TUNING_SEED = 20170905
+
+#: Stripe width of the interference-aware study's jobs (narrow, so an
+#: I/O-bound job saturates its OSTs and sharing them visibly binds).
+_JOB_STRIPE_COUNT = 2
+
+
+def tuning_theta_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario: IOR on Theta at the *untuned* system defaults.
+
+    This is the paper's Fig. 8 baseline cell in explicit (tunable) form:
+    plain ``mpiio`` with 1 OST, 1 MiB stripes, a 1 MiB collective buffer,
+    one aggregator per OST and no lock sharing — the point the tuner must
+    climb away from.
+    """
+    return Scenario(
+        id="tuning_theta_rediscovery",
+        title="Rediscovering the paper's optimized Theta MPI-IO settings by search",
+        machine=MachineSpec(kind="theta", num_nodes=scaled_nodes(512, scale)),
+        workload=WorkloadSpec(kind="ior", bytes_per_rank=2 * MB),
+        io=IOStrategySpec(
+            kind="mpiio",
+            aggregators_per_ost=1,
+            buffer_size=1 * MIB,
+            shared_locks=False,
+        ),
+        storage=StorageSpec(kind="lustre", stripe_count=1, stripe_size=1 * MIB),
+    )
+
+
+def _preset_aggregators_per_ost(num_nodes: int) -> int:
+    """The paper preset's aggregator density at a node count (Section V-B)."""
+    return max(1, 2 * num_nodes // 512)
+
+
+def _best_curve_series(label: str, trace: TuningTrace) -> Series:
+    series = Series(label)
+    for index, best in trace.best_curve():
+        series.add(index, round(best, 4))
+    return series
+
+
+def _tune(
+    builder: Callable[[float], Scenario],
+    scale: float,
+    space: SearchSpace,
+    objective: str,
+    strategy: str,
+    budget: int,
+    name: str,
+) -> TuningTrace:
+    tuner = Tuner(
+        TuneTarget(name=name, builder=builder, scale=scale),
+        space,
+        objective,
+        seed=TUNING_SEED,
+    )
+    return tuner.tune(strategy, budget)
+
+
+def tuning_theta_rediscovery(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Random + hill-climb search rediscovers the paper's tuned Theta preset."""
+    space = theta_mpiio_space()
+    space.reject_overrides(overrides)
+
+    def builder(divisor: float) -> Scenario:
+        return tuning_theta_scenario(divisor).with_overrides(overrides)
+
+    base = builder(scale)
+    machine_nodes = Simulation(base).machine.num_nodes
+    preset_per_ost = _preset_aggregators_per_ost(machine_nodes)
+    baseline_value = Simulation(base).estimate().bandwidth_gbps()
+    preset = base.with_overrides(
+        {
+            "storage.stripe_count": 48,
+            "storage.stripe_size": 8 * MIB,
+            "io.buffer_size": 8 * MIB,
+            "io.aggregators_per_ost": preset_per_ost,
+            "io.shared_locks": True,
+        }
+    )
+    preset_value = Simulation(preset).estimate().bandwidth_gbps()
+
+    traces = {
+        "random": _tune(
+            builder, scale, space, "bandwidth", "random", RANDOM_BUDGET, base.id
+        ),
+        "hill-climb": _tune(
+            builder, scale, space, "bandwidth", "hill-climb", HILL_CLIMB_BUDGET, base.id
+        ),
+    }
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
+        x_label="evaluation index",
+        series=[
+            _best_curve_series(f"{name} best-so-far (GBps)", trace)
+            for name, trace in traces.items()
+        ],
+        paper_reference=(
+            "Section V-B: the user-optimized Theta configuration is 48 OSTs, "
+            "8 MiB stripes, 2 aggregators per OST (per 512 nodes), and "
+            "collective lock sharing"
+        ),
+    )
+
+    best = {name: trace.best_overrides for name, trace in traces.items()}
+    value = {name: trace.best_value for name, trace in traces.items()}
+    result.checks = {
+        "random search rediscovers the preset's 48-OST wide striping": (
+            best["random"].get("storage.stripe_count") == 48
+        ),
+        "hill climbing rediscovers the preset's 48-OST wide striping": (
+            best["hill-climb"].get("storage.stripe_count") == 48
+        ),
+        "both strategies rediscover collective lock sharing": all(
+            point.get("io.shared_locks") is True for point in best.values()
+        ),
+        "at paper-like scale, best stripe size is within 4x of the preset's 8 MiB": (
+            machine_nodes < 256  # flat optimum drifts at smoke allocations
+            or all(
+                2 * MIB <= point.get("storage.stripe_size", 0) <= 32 * MIB
+                for point in best.values()
+            )
+        ),
+        "aggregator density at least matches the preset's 2 per OST per 512 nodes": all(
+            point.get("io.aggregators_per_ost", 0) >= preset_per_ost
+            for point in best.values()
+        ),
+        "the tuned bandwidth matches or beats the expert preset (>= 95%)": all(
+            v is not None and v >= 0.95 * preset_value for v in value.values()
+        ),
+        "tuning gains at least 10x over the untuned baseline": all(
+            v is not None and v >= 10.0 * baseline_value for v in value.values()
+        ),
+    }
+    result.notes = (
+        f"Baseline {baseline_value:.3f} GBps; expert preset {preset_value:.3f} GBps "
+        f"(2/OST scaled to {preset_per_ost}/OST at {machine_nodes} nodes); "
+        f"random best {value['random']:.3f} GBps in {RANDOM_BUDGET} evaluations, "
+        f"hill-climb best {value['hill-climb']:.3f} GBps in "
+        f"{len(traces['hill-climb'].points)} evaluations "
+        f"(space: {space.size()} grid points)"
+    )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Interference-aware re-tuning
+# --------------------------------------------------------------------------- #
+
+
+def _contender_nodes(scale: float) -> int:
+    """Per-job node count: 64 at paper scale, multiples of a Theta router."""
+    nodes = max(4, int(round(64 / scale)))
+    return max(4, (nodes // 4) * 4)
+
+
+def _tunable_job(name: str, num_nodes: int, *, ost_start: int) -> JobScenarioSpec:
+    return JobScenarioSpec(
+        name=name,
+        num_nodes=num_nodes,
+        workload=WorkloadSpec(kind="ior", bytes_per_rank=4 * MB),
+        io=IOStrategySpec(
+            kind="tapioca",
+            num_aggregators=min(32, num_nodes * 16),
+            buffer_size=8 * MIB,
+        ),
+        storage=StorageSpec(
+            kind="lustre",
+            stripe_count=_JOB_STRIPE_COUNT,
+            stripe_size=8 * MIB,
+            ost_start=ost_start,
+        ),
+    )
+
+
+def tuning_interference_scenario(scale: float = 1.0) -> Scenario:
+    """Base scenario: job A's OST anchor is tunable, job B is pinned to OSTs 0-1."""
+    num_nodes = _contender_nodes(scale)
+    return Scenario(
+        id="tuning_interference_aware",
+        title="Re-tuning a job's OST anchor under multi-job contention",
+        machine=MachineSpec(kind="theta", num_nodes=2 * num_nodes),
+        multijob=MultiJobSpec(
+            jobs=(
+                _tunable_job("A", num_nodes, ost_start=0),
+                _tunable_job("B", num_nodes, ost_start=0),
+            )
+        ),
+    )
+
+
+def tuning_interference_aware(
+    scale: float = 1.0, overrides: Mapping[str, Any] | None = None
+) -> ExperimentResult:
+    """Contention moves the tuned optimum: the OST anchor shifts off the co-runner."""
+    anchors = tuple(_JOB_STRIPE_COUNT * step for step in range(4))
+    space = SearchSpace(Categorical("multijob.jobs.0.storage.ost_start", anchors))
+    space.reject_overrides(overrides)
+
+    def contended(divisor: float) -> Scenario:
+        return tuning_interference_scenario(divisor).with_overrides(overrides)
+
+    def solo(divisor: float) -> Scenario:
+        scenario = contended(divisor)
+        return scenario.with_overrides(
+            {"multijob.jobs": scenario.multijob.jobs[:1]}
+        )
+
+    traces = {
+        "solo": _tune(
+            solo, scale, space, "slowdown", "grid", len(anchors), "tuning_interference_aware/solo"
+        ),
+        "contended": _tune(
+            contended, scale, space, "slowdown", "grid", len(anchors), "tuning_interference_aware"
+        ),
+    }
+    base = contended(scale)
+    result = ExperimentResult(
+        experiment_id=base.id,
+        title=base.title,
+        machine=Simulation(base).machine.name,
+        x_label="job A ost_start",
+        paper_reference=(
+            "Not a paper figure: shows the Section V-B style tuning answer "
+            "changes once the production machine's shared Lustre is modelled "
+            "(the condition PR 2's interference subsystem reproduces)"
+        ),
+    )
+    values: dict[str, dict[int, float]] = {}
+    for name, trace in traces.items():
+        series = Series(f"{name}: worst slowdown per anchor")
+        values[name] = {}
+        for point in trace.points:
+            anchor = point.overrides["multijob.jobs.0.storage.ost_start"]
+            values[name][anchor] = point.value
+            series.add(anchor, round(point.value, 4))
+        result.series.append(series)
+
+    solo_values = values["solo"]
+    contended_values = values["contended"]
+    contended_best = traces["contended"].best_overrides.get(
+        "multijob.jobs.0.storage.ost_start"
+    )
+    result.checks = {
+        "tuned in isolation, the OST anchor is indifferent (flat objective)": (
+            max(solo_values.values()) - min(solo_values.values()) <= 0.01
+        ),
+        "under contention the optimum shifts off the co-runner's OSTs": (
+            contended_best is not None and contended_best >= _JOB_STRIPE_COUNT
+        ),
+        "the shifted optimum restores isolation (slowdown ~1.0)": (
+            traces["contended"].best_value is not None
+            and traces["contended"].best_value <= 1.01
+        ),
+        "keeping the solo answer under contention costs > 5%": (
+            contended_values[0] >= 1.05
+        ),
+    }
+    result.notes = (
+        f"Anchors searched: {', '.join(map(str, anchors))} (job B pinned to "
+        f"OSTs 0-{_JOB_STRIPE_COUNT - 1}); contended optimum at "
+        f"ost_start={contended_best}"
+    )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Named-scenario registry entries
+# --------------------------------------------------------------------------- #
+
+for _name, _builder, _description in (
+    (
+        "tuning_theta_rediscovery",
+        tuning_theta_scenario,
+        "Untuned Theta MPI-IO cell the rediscovery tuner starts from",
+    ),
+    (
+        "tuning_interference_aware",
+        tuning_interference_scenario,
+        "Two-job contention cell whose OST anchor gets re-tuned",
+    ),
+):
+    register_scenario(_name, _builder, _description)

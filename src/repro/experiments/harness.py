@@ -13,7 +13,7 @@ from __future__ import annotations
 from difflib import get_close_matches
 from typing import Any, Callable, Mapping
 
-from repro.experiments import ablations, figures, interference
+from repro.experiments import ablations, autotuning, figures, interference
 from repro.experiments.results import ExperimentResult
 
 #: Registry mapping experiment ids to their reproduction functions.  Each
@@ -39,6 +39,8 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "interference_job_count": interference.interference_job_count,
     "interference_alloc_policy": interference.interference_alloc_policy,
     "interference_bb_drain": interference.interference_bb_drain,
+    "tuning_theta_rediscovery": autotuning.tuning_theta_rediscovery,
+    "tuning_interference_aware": autotuning.tuning_interference_aware,
 }
 
 

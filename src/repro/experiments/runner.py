@@ -84,6 +84,56 @@ def _execute(
     return experiment_id, result, time.perf_counter() - start
 
 
+def _evaluate_candidate(payload: dict, objective: str) -> tuple[bool, float | str]:
+    """Worker entry point: score one scenario payload (picklable).
+
+    Returns ``(True, value)`` on success and ``(False, message)`` when the
+    scenario fails resolution-time validation — candidate points of a
+    tuning search may be individually invalid without aborting the batch.
+    """
+    # Imported here so forked/spawned workers resolve everything themselves.
+    from repro.autotune.objectives import get_objective
+    from repro.scenario.spec import Scenario
+
+    try:
+        scenario = Scenario.from_dict(payload)
+        return True, get_objective(objective).evaluate(scenario)
+    except ValueError as error:
+        # ScenarioError and the model layers' resolution-time rejections
+        # (e.g. a stripe wider than the file system) are both ValueErrors:
+        # the candidate is invalid, not the batch.
+        return False, str(error)
+
+
+def evaluate_candidates(
+    payloads: list[dict], objective: str, *, jobs: int = 1
+) -> list[tuple[bool, float | str]]:
+    """Score a batch of scenario payloads against a named objective.
+
+    The tuning counterpart of :func:`run_experiments`: candidate scenarios
+    are pure data (``Scenario.to_dict`` payloads), so a batch fans out over
+    a :class:`~concurrent.futures.ProcessPoolExecutor` exactly like a
+    figure sweep.  Results come back in input order; a candidate the
+    scenario tree rejects yields ``(False, message)`` instead of poisoning
+    the batch.
+
+    Args:
+        payloads: ``Scenario.to_dict`` outputs, one per candidate.
+        objective: a registered objective name
+            (see :data:`repro.autotune.objectives.OBJECTIVES`).
+        jobs: worker processes; ``1`` evaluates in-process.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_evaluate_candidate(payload, objective) for payload in payloads]
+    workers = min(jobs, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        futures = [
+            executor.submit(_evaluate_candidate, payload, objective)
+            for payload in payloads
+        ]
+        return [future.result() for future in futures]
+
+
 def run_experiments(
     ids: list[str] | None = None,
     *,

@@ -36,6 +36,12 @@ ARTIFACT_SCHEMA = 1
 #: Name of the sweep-level manifest file inside an artifact directory.
 MANIFEST_NAME = "manifest.json"
 
+#: Suffix (before ``.json``) marking a tuning-trace artifact.
+TUNING_TRACE_STEM = ".tuning"
+
+#: Subdirectory holding the per-candidate tuning point cache.
+TUNING_POINT_DIR = "tuning-points"
+
 
 # ---------------------------------------------------------------------------
 # ExperimentResult <-> JSON
@@ -277,15 +283,19 @@ class ArtifactStore:
     def experiment_ids(self) -> list[str]:
         """Ids of the experiments with an as-published artifact, sorted.
 
-        Artifacts of overridden (``--set``) runs are cache-only and excluded:
-        the manifest and ``report --from`` reflect the published reproduction.
+        Artifacts of overridden (``--set``) runs are cache-only and
+        tuning traces (``*.tuning.json``) have their own listing; both are
+        excluded: the manifest and ``report --from`` experiment sections
+        reflect the published reproduction.
         """
         if not self.root.is_dir():
             return []
         return sorted(
             path.stem
             for path in self.root.glob("*.json")
-            if path.name != MANIFEST_NAME and "@set-" not in path.stem
+            if path.name != MANIFEST_NAME
+            and "@set-" not in path.stem
+            and not path.stem.endswith(TUNING_TRACE_STEM)
         )
 
     def load_envelope(self, experiment_id: str, overrides: Mapping | None = None) -> dict:
@@ -370,3 +380,80 @@ class ArtifactStore:
         if removed:
             self.refresh_manifest()
         return removed
+
+    # -- tuning traces and the tuning point cache ---------------------------
+
+    @staticmethod
+    def _trace_stem(target: str) -> str:
+        """File-system-safe stem for a tuning target's trace artifact.
+
+        Registry names may contain ``/`` (``interference_theta_ost/shared``);
+        the separator is flattened so the trace stays one file at the store
+        root, next to the experiment artifacts it annotates.
+        """
+        return target.replace("/", "--")
+
+    def tuning_trace_path(self, target: str) -> Path:
+        """Path of the tuning-trace artifact for one target."""
+        return self.root / f"{self._trace_stem(target)}{TUNING_TRACE_STEM}.json"
+
+    def save_tuning_trace(self, target: str, payload: Mapping) -> Path:
+        """Persist one tuning trace (plain dict; see ``TuningTrace.to_dict``)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.tuning_trace_path(target)
+        self._write_atomic(path, json.dumps(dict(payload), indent=2, sort_keys=True))
+        return path
+
+    def tuning_trace_targets(self) -> list[str]:
+        """Targets with a stored tuning trace, sorted.
+
+        Targets come from each trace's own ``target`` field (the filename
+        mangling is not reversible for names containing ``--``); unreadable
+        traces fall back to their filename stem rather than disappearing.
+        """
+        if not self.root.is_dir():
+            return []
+        suffix = f"{TUNING_TRACE_STEM}.json"
+        targets = []
+        for path in sorted(self.root.glob(f"*{suffix}")):
+            try:
+                target = json.loads(path.read_text(encoding="utf-8")).get("target")
+            except (OSError, ValueError):
+                target = None
+            targets.append(target or path.name[: -len(suffix)])
+        return sorted(targets)
+
+    def load_tuning_trace(self, target: str) -> dict:
+        """The stored tuning-trace payload for one target."""
+        path = self.tuning_trace_path(target)
+        if not path.is_file():
+            raise FileNotFoundError(f"no tuning trace for {target!r} in {self.root}")
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def tuning_point_path(self, digest: str) -> Path:
+        """Path of one cached candidate evaluation, by content digest."""
+        return self.root / TUNING_POINT_DIR / f"{digest}.json"
+
+    def save_tuning_point(self, digest: str, payload: Mapping) -> Path:
+        """Persist one candidate evaluation keyed by ``(scenario, objective)``.
+
+        The digest comes from :func:`repro.autotune.tuner.point_digest`, so
+        any later tune — same strategy or not — that lands on the same
+        scenario/objective pair is served from disk instead of re-simulated.
+        """
+        path = self.tuning_point_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"schema": ARTIFACT_SCHEMA, "digest": digest, **dict(payload)}
+        self._write_atomic(path, json.dumps(envelope, indent=2, sort_keys=True))
+        return path
+
+    def load_tuning_point(self, digest: str) -> dict | None:
+        """The cached evaluation for a digest, or ``None`` (a miss, never an error)."""
+        path = self.tuning_point_path(digest)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if envelope.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        return envelope

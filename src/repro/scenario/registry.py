@@ -10,10 +10,10 @@ start from a shown scenario, edit the JSON, and run it back through
 
 from __future__ import annotations
 
-from difflib import get_close_matches
 from typing import Callable
 
 from repro.scenario.spec import Scenario
+from repro.utils.validation import did_you_mean_hint
 
 #: Registered builders: name -> (builder(scale) -> Scenario, description).
 _SCENARIOS: dict[str, tuple[Callable[[float], Scenario], str]] = {}
@@ -57,8 +57,7 @@ def get_scenario(name: str, *, scale: float = 1.0) -> Scenario:
     """
     _load_builtin()
     if name not in _SCENARIOS:
-        matches = get_close_matches(name, list(_SCENARIOS), n=3)
-        hint = f"; did you mean {', '.join(map(repr, matches))}?" if matches else ""
+        hint = did_you_mean_hint(name, _SCENARIOS)
         raise KeyError(f"unknown scenario {name!r}{hint}")
     builder, _ = _SCENARIOS[name]
     return builder(scale)

@@ -23,12 +23,16 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, fields, replace
-from difflib import get_close_matches
 from typing import Any, Mapping
 
 from repro.core.config import AGGREGATION_TIERS, PLACEMENT_STRATEGIES
 from repro.utils.units import MIB
-from repro.utils.validation import require, require_non_negative, require_positive
+from repro.utils.validation import (
+    did_you_mean_hint,
+    require,
+    require_non_negative,
+    require_positive,
+)
 
 #: Machine kinds understood by the simulation facade.
 MACHINE_KINDS = ("mira", "theta", "generic")
@@ -56,8 +60,7 @@ class ScenarioError(ValueError):
 
 
 def _unknown_key_error(cls: type, key: str, known: list[str]) -> ScenarioError:
-    matches = get_close_matches(key, known, n=3)
-    hint = f"; did you mean {', '.join(map(repr, matches))}?" if matches else ""
+    hint = did_you_mean_hint(key, known)
     return ScenarioError(
         f"{cls.__name__} has no field {key!r} (known: {', '.join(known)}){hint}"
     )

@@ -8,9 +8,22 @@ these helpers liberally.
 
 from __future__ import annotations
 
-from typing import TypeVar
+from difflib import get_close_matches
+from typing import Iterable, TypeVar
 
 T = TypeVar("T")
+
+
+def did_you_mean_hint(name: str, known: Iterable[str], *, n: int = 3) -> str:
+    """A ``"; did you mean 'a', 'b'?"`` suffix for a near-miss name.
+
+    Returns the empty string when nothing is close — error sites append the
+    hint unconditionally.  Shared by every registry-style lookup (spec
+    fields, scenario names, objectives, strategies) so the phrasing stays
+    uniform.
+    """
+    matches = get_close_matches(name, list(known), n=n)
+    return f"; did you mean {', '.join(map(repr, matches))}?" if matches else ""
 
 
 def require(condition: bool, message: str) -> None:

@@ -1,0 +1,131 @@
+"""Tests for the ``repro tune`` CLI surface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCENARIO = EXAMPLES_DIR / "scenarios" / "theta_hacc_tapioca.json"
+
+#: Quick tune of a registered scenario: tiny budget, smoke scale.
+QUICK = ["tune", "fig08", "--budget", "4", "--scale", "8", "--seed", "3"]
+
+
+class TestTuneTargets:
+    def test_tune_registered_scenario(self, capsys):
+        assert main(QUICK) == 0
+        output = capsys.readouterr().out
+        assert "tuned fig08 with random" in output
+        assert "best bandwidth:" in output
+
+    def test_tune_scenario_json_file(self, capsys):
+        code = main(
+            ["tune", str(EXAMPLE_SCENARIO), "--budget", "4", "--scale", "8",
+             "--strategy", "grid"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "tuned theta-hacc-tapioca with grid" in output
+
+    def test_tune_unknown_target_has_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tune", "fig8O", "--budget", "2"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert ".json file path" in err
+
+    def test_tune_missing_file_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tune", "no/such/file.json", "--budget", "2"])
+        assert excinfo.value.code == 2
+        assert "cannot read scenario file" in capsys.readouterr().err
+
+    def test_tune_malformed_scenario_file_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tune", str(bad), "--budget", "2"])
+        assert excinfo.value.code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_tune_multijob_scenario_uses_slowdown_objective(self, capsys):
+        code = main(
+            ["tune", "tuning_interference_aware", "--budget", "4", "--scale",
+             "8", "--strategy", "grid"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "objective: slowdown [min]" in output
+        assert "multijob.jobs.0.storage.ost_start" in output
+
+
+class TestTuneOverrides:
+    def test_set_on_searched_field_is_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*QUICK, "--set", "storage.stripe_count=8"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot override searched field" in err
+        assert "storage.stripe_count" in err
+
+    def test_set_with_typo_has_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*QUICK, "--set", "workload.bytes_per_rnk=1048576"])
+        assert excinfo.value.code == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_set_on_unsearched_field_takes_effect(self, capsys):
+        assert main([*QUICK]) == 0
+        stock = capsys.readouterr().out
+        assert main([*QUICK, "--set", "workload.bytes_per_rank=4194304"]) == 0
+        modified = capsys.readouterr().out
+        assert stock != modified
+
+
+class TestTuneArtifacts:
+    def test_out_writes_trace_and_point_cache(self, tmp_path, capsys):
+        assert main([*QUICK, "--out", str(tmp_path)]) == 0
+        trace_path = tmp_path / "fig08.tuning.json"
+        assert trace_path.is_file()
+        payload = json.loads(trace_path.read_text())
+        assert payload["target"] == "fig08"
+        assert payload["strategy"] == "random"
+        assert payload["budget"] == 4
+        assert len(payload["points"]) == 4
+        assert payload["best_value"] > 0
+        assert list((tmp_path / "tuning-points").glob("*.json"))
+
+    def test_resumed_tune_serves_cache_hits(self, tmp_path, capsys):
+        assert main([*QUICK, "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main([*QUICK, "--out", str(tmp_path)]) == 0
+        assert "4 cache hits" in capsys.readouterr().out
+
+    def test_report_from_store_includes_the_trace(self, tmp_path, capsys):
+        assert (
+            main(["run-all", "--experiment", "fig10", "--scale", "8", "--out",
+                  str(tmp_path)]) == 0
+        )
+        assert main([*QUICK, "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        report_path = tmp_path / "report.md"
+        assert main(["report", "--from", str(tmp_path), "-o", str(report_path)]) == 0
+        text = report_path.read_text()
+        assert "## fig10:" in text
+        assert "## tuning trace: fig08 (random)" in text
+        assert "best so far" in text
+
+    def test_tune_jobs_parallel_matches_sequential_best(self, tmp_path, capsys):
+        def stable_lines(text: str) -> list[str]:
+            # Drop the wall-time line; only the timing may differ.
+            return [line for line in text.splitlines() if " points: " not in line]
+
+        assert main([*QUICK]) == 0
+        sequential = capsys.readouterr().out
+        assert main([*QUICK, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert stable_lines(sequential) == stable_lines(parallel)

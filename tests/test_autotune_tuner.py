@@ -1,0 +1,309 @@
+"""Tests for objectives, strategies, the tuner driver, and point caching."""
+
+import pytest
+
+from repro.autotune import (
+    Categorical,
+    SearchSpace,
+    SuccessiveHalving,
+    TuneTarget,
+    Tuner,
+    TuningTrace,
+    default_objective,
+    get_objective,
+    get_strategy,
+    rescale_scenario,
+    theta_mpiio_space,
+    tune_scenario,
+)
+from repro.autotune.space import AutotuneError
+from repro.experiments.store import ArtifactStore
+from repro.scenario.spec import (
+    IOStrategySpec,
+    JobScenarioSpec,
+    MachineSpec,
+    MultiJobSpec,
+    Scenario,
+    ScenarioError,
+    StorageSpec,
+    WorkloadSpec,
+)
+from repro.utils.units import MB, MIB
+
+
+def theta_base(num_nodes: int = 32) -> Scenario:
+    """A small untuned Theta MPI-IO scenario (the rediscovery shape)."""
+    return Scenario(
+        id="tune-test",
+        machine=MachineSpec(kind="theta", num_nodes=num_nodes),
+        workload=WorkloadSpec(kind="ior", bytes_per_rank=2 * MB),
+        io=IOStrategySpec(
+            kind="mpiio", aggregators_per_ost=1, buffer_size=1 * MIB, shared_locks=False
+        ),
+        storage=StorageSpec(kind="lustre", stripe_count=1, stripe_size=1 * MIB),
+    )
+
+
+def locks_space() -> SearchSpace:
+    return SearchSpace(
+        Categorical("storage.stripe_count", (1, 8, 48)),
+        Categorical("io.shared_locks", (False, True)),
+    )
+
+
+def multijob_base(num_nodes: int = 8) -> Scenario:
+    def job(name: str, ost_start: int) -> JobScenarioSpec:
+        return JobScenarioSpec(
+            name=name,
+            num_nodes=num_nodes,
+            workload=WorkloadSpec(kind="ior", bytes_per_rank=4 * MB),
+            io=IOStrategySpec(kind="tapioca", num_aggregators=16, buffer_size=8 * MIB),
+            storage=StorageSpec(
+                kind="lustre", stripe_count=2, stripe_size=8 * MIB, ost_start=ost_start
+            ),
+        )
+
+    return Scenario(
+        id="tune-multijob",
+        machine=MachineSpec(kind="theta", num_nodes=2 * num_nodes),
+        multijob=MultiJobSpec(jobs=(job("A", 0), job("B", 0))),
+    )
+
+
+class TestObjectives:
+    def test_bandwidth_and_time_agree_on_single_job(self):
+        scenario = theta_base()
+        bandwidth = get_objective("bandwidth").evaluate(scenario)
+        elapsed = get_objective("time").evaluate(scenario)
+        assert bandwidth > 0 and elapsed > 0
+        total_gb = scenario.machine.num_nodes * 16 * 2 * MB / 1e9
+        assert bandwidth == pytest.approx(total_gb / elapsed, rel=1e-6)
+
+    def test_slowdown_needs_a_multijob_scenario(self):
+        with pytest.raises(ScenarioError, match="multi-job"):
+            get_objective("slowdown").evaluate(theta_base())
+        assert get_objective("slowdown").evaluate(multijob_base()) >= 1.0
+
+    def test_single_job_objectives_reject_multijob(self):
+        with pytest.raises(ScenarioError, match="single-job"):
+            get_objective("bandwidth").evaluate(multijob_base())
+
+    def test_unknown_objective_has_did_you_mean(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            get_objective("bandwith")
+
+    def test_default_objective_follows_scenario_kind(self):
+        assert default_objective(theta_base()).name == "bandwidth"
+        assert default_objective(multijob_base()).name == "slowdown"
+
+    def test_better_respects_direction(self):
+        assert get_objective("bandwidth").better(2.0, 1.0)
+        assert get_objective("time").better(1.0, 2.0)
+        assert get_objective("time").better(5.0, None)
+
+
+class TestStrategies:
+    def test_grid_finds_the_exhaustive_optimum(self):
+        space = locks_space()
+        trace = tune_scenario(theta_base(), space, strategy="grid", budget=10)
+        assert len(trace.points) == space.size() == 6
+        assert trace.best_overrides["storage.stripe_count"] == 48
+        assert trace.best_overrides["io.shared_locks"] is True
+
+    def test_grid_respects_the_budget(self):
+        trace = tune_scenario(theta_base(), locks_space(), strategy="grid", budget=4)
+        assert len(trace.points) == 4
+
+    def test_random_samples_distinct_points(self):
+        trace = tune_scenario(theta_base(), locks_space(), strategy="random", budget=6)
+        keys = {repr(sorted(point.overrides.items())) for point in trace.points}
+        assert len(keys) == len(trace.points) == 6
+
+    def test_hill_climb_reaches_the_grid_optimum(self):
+        space = theta_mpiio_space()
+        grid = tune_scenario(theta_base(), space, strategy="grid", budget=space.size())
+        climb = tune_scenario(theta_base(), space, strategy="hill-climb", budget=60)
+        assert climb.best_value == pytest.approx(grid.best_value)
+        assert len(climb.points) < space.size()  # climbed, not enumerated
+
+    def test_halving_spends_most_budget_at_coarse_fidelity(self):
+        trace = tune_scenario(
+            theta_base(num_nodes=64), locks_space(), strategy="halving", budget=12
+        )
+        fidelities = [point.fidelity for point in trace.points]
+        assert fidelities == sorted(fidelities, reverse=True)
+        assert fidelities[0] == 8.0 and fidelities[-1] == 1.0
+        # Coarse rungs run on rescaled (smaller) machines.
+        assert trace.points[0].num_nodes < trace.points[-1].num_nodes
+        assert trace.best_point().fidelity == 1.0
+
+    def test_halving_tiny_budget_still_ends_at_full_fidelity(self):
+        # Budget below the rung count drops the coarsest rungs instead of
+        # burning the whole budget on sub-fidelity evaluations.
+        for budget in (1, 2, 3):
+            trace = tune_scenario(
+                theta_base(), locks_space(), strategy="halving", budget=budget
+            )
+            assert trace.points[-1].fidelity == 1.0
+            assert trace.best_point() is not None
+
+    def test_halving_constructor_validates_rungs(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(fidelities=(4.0, 2.0))
+        with pytest.raises(ValueError):
+            SuccessiveHalving(eta=1)
+
+    def test_unknown_strategy_has_did_you_mean(self):
+        with pytest.raises(AutotuneError, match="did you mean"):
+            get_strategy("hillclimb")
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        space = theta_mpiio_space()
+        first = tune_scenario(
+            theta_base(), space, strategy="random", budget=12, seed=11
+        )
+        second = tune_scenario(
+            theta_base(), space, strategy="random", budget=12, seed=11
+        )
+        assert [p.overrides for p in first.points] == [
+            p.overrides for p in second.points
+        ]
+        assert [p.value for p in first.points] == [p.value for p in second.points]
+        assert [p.best_so_far for p in first.points] == [
+            p.best_so_far for p in second.points
+        ]
+
+    def test_different_seed_different_trajectory(self):
+        space = theta_mpiio_space()
+        first = tune_scenario(
+            theta_base(), space, strategy="random", budget=12, seed=11
+        )
+        other = tune_scenario(
+            theta_base(), space, strategy="random", budget=12, seed=12
+        )
+        assert [p.overrides for p in first.points] != [
+            p.overrides for p in other.points
+        ]
+
+    def test_strategies_draw_independent_substreams(self):
+        space = theta_mpiio_space()
+        random = tune_scenario(
+            theta_base(), space, strategy="random", budget=8, seed=11
+        )
+        halving = tune_scenario(
+            theta_base(), space, strategy="halving", budget=8, seed=11
+        )
+        assert random.points[0].overrides != halving.points[0].overrides
+
+
+class TestTunerDriver:
+    def test_invalid_candidates_are_recorded_not_fatal(self):
+        # stripe_count 64 exceeds Theta's 56 OSTs: resolution-time rejection.
+        space = SearchSpace(Categorical("storage.stripe_count", (8, 64)))
+        trace = tune_scenario(theta_base(), space, strategy="grid", budget=4)
+        assert trace.invalid_points() == 1
+        invalid = [point for point in trace.points if point.error][0]
+        assert "stripe_count" in invalid.error
+        assert trace.best_overrides["storage.stripe_count"] == 8
+
+    def test_typoed_domain_fails_fast_with_hint(self):
+        space = SearchSpace(Categorical("storage.stripe_cont", (8,)))
+        with pytest.raises(ScenarioError, match="did you mean"):
+            tune_scenario(theta_base(), space, strategy="grid", budget=1)
+
+    def test_parallel_evaluation_matches_sequential(self):
+        space = locks_space()
+        sequential = tune_scenario(
+            theta_base(), space, strategy="grid", budget=6, jobs=1
+        )
+        parallel = tune_scenario(
+            theta_base(), space, strategy="grid", budget=6, jobs=2
+        )
+        assert [p.value for p in sequential.points] == [
+            p.value for p in parallel.points
+        ]
+
+    def test_point_cache_skips_evaluated_points(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        space = locks_space()
+        first = tune_scenario(
+            theta_base(), space, strategy="grid", budget=6, store=store
+        )
+        assert first.cache_hits() == 0 and first.evaluations() == 6
+        resumed = tune_scenario(
+            theta_base(), space, strategy="grid", budget=6, store=store
+        )
+        assert resumed.cache_hits() == 6 and resumed.evaluations() == 0
+        assert resumed.best_value == pytest.approx(first.best_value)
+
+    def test_cache_is_shared_across_strategies(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        space = locks_space()
+        tune_scenario(theta_base(), space, strategy="grid", budget=6, store=store)
+        random = tune_scenario(
+            theta_base(), space, strategy="random", budget=6, store=store
+        )
+        assert random.cache_hits() == 6  # every grid point was already paid for
+
+    def test_trace_round_trips_through_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        trace = tune_scenario(
+            theta_base(), locks_space(), strategy="grid", budget=6, store=store
+        )
+        assert store.tuning_trace_targets() == ["tune-test"]
+        loaded = TuningTrace.from_dict(store.load_tuning_trace("tune-test"))
+        assert loaded.best_value == pytest.approx(trace.best_value)
+        assert loaded.best_overrides == trace.best_overrides
+        assert [p.overrides for p in loaded.points] == [
+            p.overrides for p in trace.points
+        ]
+
+    def test_trace_artifacts_do_not_pollute_experiment_ids(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        tune_scenario(
+            theta_base(), locks_space(), strategy="grid", budget=2, store=store
+        )
+        assert store.experiment_ids() == []
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            tune_scenario(theta_base(), locks_space(), strategy="grid", budget=0)
+
+
+class TestRescale:
+    def test_single_job_rescale_preserves_granularity(self):
+        scenario = theta_base(num_nodes=64)
+        assert rescale_scenario(scenario, 8.0).machine.num_nodes == 8
+        mira = Scenario(
+            id="m", machine=MachineSpec(kind="mira", num_nodes=512, pset_size=128)
+        )
+        assert rescale_scenario(mira, 2.0).machine.num_nodes == 256
+        assert rescale_scenario(mira, 16.0).machine.num_nodes == 128  # pset floor
+
+    def test_multijob_rescale_keeps_machine_hosting_all_jobs(self):
+        scaled = rescale_scenario(multijob_base(num_nodes=32), 4.0)
+        job_nodes = [job.num_nodes for job in scaled.multijob.jobs]
+        assert job_nodes == [8, 8]
+        assert scaled.machine.num_nodes >= sum(job_nodes)
+
+    def test_identity_rescale_returns_the_same_scenario(self):
+        scenario = theta_base()
+        assert rescale_scenario(scenario, 1.0) is scenario
+
+
+class TestTuneTarget:
+    def test_from_registry_fails_fast_with_hint(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            TuneTarget.from_registry("fig8O")
+
+    def test_from_registry_builds_at_fidelity(self):
+        target = TuneTarget.from_registry("fig10", scale=16.0)
+        assert target.scenario().machine.num_nodes == 32
+        assert target.scenario(fidelity=2.0).machine.num_nodes == 16
+
+    def test_objective_kind_mismatch_is_rejected(self):
+        target = TuneTarget.from_scenario(theta_base())
+        with pytest.raises(ScenarioError, match="multi-job"):
+            Tuner(target, locks_space(), "slowdown").tune("grid", 1)

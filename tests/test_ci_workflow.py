@@ -79,6 +79,31 @@ class TestWorkflowShape:
         repo_root = Path(__file__).resolve().parent.parent
         assert (repo_root / example).is_file(), f"{example} is missing"
 
+    def test_smoke_job_gates_on_a_tuning_run(self, workflow):
+        commands = [
+            s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]
+        ]
+        tune = [c for c in commands if "repro tune" in c]
+        assert tune, "smoke job must gate on a repro tune run"
+        assert "--strategy random" in tune[0]
+        assert "--budget 6" in tune[0]
+        assert "--jobs 2" in tune[0]
+        assert "--out artifacts/" in tune[0]
+
+    def test_tuning_trace_artifact_is_uploaded(self, workflow):
+        steps = workflow["jobs"]["smoke"]["steps"]
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads
+        assert "*.tuning.json" in uploads[0]["with"]["path"]
+        # The tune step must run before the report regeneration so the
+        # trace section appears in EXPERIMENTS.smoke.md.
+        commands = [s.get("run", "") for s in steps]
+        tune_index = next(i for i, c in enumerate(commands) if "repro tune" in c)
+        report_index = next(
+            i for i, c in enumerate(commands) if "repro report --from" in c
+        )
+        assert tune_index < report_index
+
     def test_smoke_job_runs_run_all_and_uploads_artifacts(self, workflow):
         steps = workflow["jobs"]["smoke"]["steps"]
         commands = [s.get("run", "") for s in steps]

@@ -50,6 +50,25 @@ class TestExamples:
         output = capsys.readouterr().out
         assert "topology-aware" in output
 
+    def test_autotune_theta_runs_at_small_scale(self, capsys):
+        self._run("autotune_theta.py", ["8", "16"])
+        output = capsys.readouterr().out
+        assert "48 OSTs" in output
+        assert "shared locks: True" in output
+        assert "hill-climb: best" in output
+
+    def test_example_tuning_trace_is_valid(self):
+        from repro.autotune.trace import TuningTrace
+
+        trace_file = EXAMPLES_DIR / "traces" / "fig08.tuning.json"
+        assert trace_file.is_file(), "example tuning trace is missing"
+        import json
+
+        trace = TuningTrace.from_dict(json.loads(trace_file.read_text()))
+        assert trace.target == "fig08"
+        assert trace.best_value is not None and trace.best_value > 0
+        assert len(trace.points) == trace.budget
+
 
 class TestReportGenerator:
     def test_generate_report_subset(self):

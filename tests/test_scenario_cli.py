@@ -135,6 +135,51 @@ class TestScenarioCommands:
         assert "conserves bandwidth" in output
 
 
+class TestScenarioRunByName:
+    def test_run_registered_name_matches_shown_json(self, tmp_path, capsys):
+        """`scenario run NAME` equals the show | edit-nothing | run round-trip."""
+        assert main(["scenario", "run", "fig10", "--scale", "16", "--json"]) == 0
+        by_name = json.loads(capsys.readouterr().out)
+        main(["scenario", "show", "fig10", "--scale", "16"])
+        scenario_file = tmp_path / "fig10.json"
+        scenario_file.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert main(["scenario", "run", str(scenario_file), "--json"]) == 0
+        by_file = json.loads(capsys.readouterr().out)
+        assert by_name == by_file
+
+    def test_run_registered_multijob_name(self, capsys):
+        code = main(
+            ["scenario", "run", "interference_theta_ost/shared", "--scale", "8"]
+        )
+        assert code == 0
+        assert "per-job slowdown" in capsys.readouterr().out
+
+    def test_run_unknown_name_has_did_you_mean(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "run", "fig1O"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert ".json file path" in err
+
+    def test_scale_with_a_file_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["scenario", "run", str(EXAMPLE_SCENARIO), "--scale", "8"]
+            )
+        assert excinfo.value.code == 2
+        assert "registered scenario names" in capsys.readouterr().err
+
+    def test_run_name_accepts_set_overrides(self, capsys):
+        code = main(
+            ["scenario", "run", "fig10", "--scale", "16", "--set",
+             "io.kind=mpiio", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series"][0]["label"] == "MPI I/O"
+
+
 class TestCustomScenarioExample:
     def test_example_runs_and_prints_valid_json(self, capsys):
         script = EXAMPLES_DIR / "custom_scenario.py"
