@@ -323,6 +323,42 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the tracked benchmark suite and write a ``BENCH_*.json`` artifact."""
+    from repro.experiments.bench import render_suite, run_suite
+
+    payload = run_suite(
+        nodes=args.nodes,
+        num_aggregators=args.aggregators,
+        tune_target=args.tune_target,
+        tune_budget=args.tune_budget,
+        tune_scale=args.tune_scale,
+        run_all_scale=args.run_all_scale,
+        on_progress=lambda message: print(f"bench: {message}", file=sys.stderr),
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render_suite(payload))
+    print(f"wrote {args.out}")
+    if not payload["results"]["run_all"]["all_checks_pass"]:
+        print("error: run-all failed qualitative checks", file=sys.stderr)
+        return 1
+    if args.min_placement_rate is not None:
+        worst = min(
+            payload["results"][f"placement_{kind}"]["fast"]["candidates_per_s"]
+            for kind in ("theta", "mira")
+        )
+        if worst < args.min_placement_rate:
+            print(
+                f"error: placement throughput {worst:,.0f} candidates/s is below "
+                f"the floor of {args.min_placement_rate:,.0f}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     """One-off TAPIOCA vs MPI I/O estimate for a HACC-IO style workload."""
     ranks = args.nodes * args.ranks_per_node
@@ -574,6 +610,63 @@ def build_parser() -> argparse.ArgumentParser:
         "searched fields cannot be pinned; may be repeated",
     )
     tune_parser.set_defaults(func=_cmd_tune, parser=tune_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the tracked benchmark suite and write a BENCH_*.json artifact",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_5.json",
+        metavar="PATH",
+        help="output JSON path (default: BENCH_5.json at the repo root)",
+    )
+    bench_parser.add_argument(
+        "--nodes",
+        type=_positive_int,
+        default=512,
+        help="node count of the placement benchmark (default: 512)",
+    )
+    bench_parser.add_argument(
+        "--aggregators",
+        type=_positive_int,
+        default=8,
+        help="aggregator count of the placement benchmark (default: 8; few "
+        "aggregators = the quadratic candidates-by-senders worst case)",
+    )
+    bench_parser.add_argument(
+        "--tune-target",
+        default="fig08",
+        metavar="NAME",
+        help="registered scenario the tuning benchmark searches (default: fig08)",
+    )
+    bench_parser.add_argument(
+        "--tune-budget",
+        type=_positive_int,
+        default=64,
+        help="candidate evaluations of the tuning benchmark (default: 64)",
+    )
+    bench_parser.add_argument(
+        "--tune-scale",
+        type=_positive_scale,
+        default=1.0,
+        help="node-count divisor of the tuning benchmark (default: 1)",
+    )
+    bench_parser.add_argument(
+        "--run-all-scale",
+        type=_positive_scale,
+        default=8.0,
+        help="node-count divisor of the run-all benchmark (default: 8)",
+    )
+    bench_parser.add_argument(
+        "--min-placement-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fail (exit 1) when fast-path placement throughput drops below "
+        "RATE candidates/s on either machine (the CI regression floor)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench, parser=bench_parser)
 
     estimate_parser = subparsers.add_parser(
         "estimate", help="one-off TAPIOCA vs MPI I/O estimate (HACC-IO style workload)"

@@ -22,7 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Protocol
 
+import numpy as np
+
 from repro.core.topology_iface import TopologyInterface
+from repro.utils.fastpath import fastpath_enabled
 from repro.utils.validation import require_non_negative
 
 
@@ -155,9 +158,77 @@ class AggregationCostModel:
 
         Ties are broken towards the lowest rank, matching the behaviour of
         ``MPI_Allreduce(MINLOC)``.
+
+        When the fast path is on (and no contention model is attached), all
+        candidates are evaluated against precomputed per-node-pair hop and
+        bottleneck-bandwidth arrays instead of O(candidates × senders)
+        scalar interface calls; the per-term arithmetic and the accumulation
+        order match the scalar path exactly, so the breakdowns are
+        bit-identical.
         """
         if not candidates:
             raise ValueError("no candidates to evaluate")
-        breakdowns = [self.evaluate(c, volumes) for c in candidates]
+        breakdowns = None
+        if self.contention is None and fastpath_enabled():
+            breakdowns = self._batched_breakdowns(candidates, volumes)
+        if breakdowns is None:
+            breakdowns = [self.evaluate(c, volumes) for c in candidates]
         winner = min(breakdowns, key=lambda b: (b.total, b.candidate))
         return winner.candidate, breakdowns
+
+    def _batched_breakdowns(
+        self, candidates: list[int], volumes: Mapping[int, int]
+    ) -> list[CostBreakdown] | None:
+        """All candidates' breakdowns from per-node arrays (``None`` = no batch).
+
+        Requires the interface to expose :meth:`~repro.core.topology_iface.
+        TopologyInterface.node_pair_arrays`; duck-typed so hand-rolled
+        interface stubs in tests keep working through the scalar path.
+        """
+        pair_arrays = getattr(self.iface, "node_pair_arrays", None)
+        if pair_arrays is None:
+            return None
+        # Mirror the scalar path's validation: a rank's volume is checked by
+        # every candidate except the rank itself.
+        for rank, nbytes in volumes.items():
+            if nbytes >= 0:
+                continue
+            if all(c == rank for c in candidates):
+                continue
+            require_non_negative(nbytes, f"volume of rank {rank}")
+        producer_ranks = list(volumes.keys())
+        producer_nodes = [self.iface.node_of_rank(r) for r in producer_ranks]
+        candidate_nodes = [self.iface.node_of_rank(c) for c in candidates]
+        node_list = list(dict.fromkeys(producer_nodes + candidate_nodes))
+        index_of = {node: i for i, node in enumerate(node_list)}
+        hops, bandwidths = pair_arrays(node_list)
+        rows = np.asarray(
+            [index_of[node] for node in producer_nodes], dtype=np.int64
+        )
+        vols = np.asarray(
+            [float(volumes[r]) for r in producer_ranks], dtype=np.float64
+        )
+        latency = self.iface.get_latency()
+        io_bytes = sum(volumes.values())
+        position = {rank: i for i, rank in enumerate(producer_ranks)}
+        breakdowns = []
+        for candidate, candidate_node in zip(candidates, candidate_nodes):
+            column = index_of[candidate_node]
+            # Identical per-term IEEE arithmetic to aggregation_cost(); the
+            # final reduction must stay a sequential left-to-right sum over
+            # the producers' iteration order to keep the floats bit-equal.
+            terms = (latency * hops[rows, column] + vols / bandwidths[rows, column]).tolist()
+            skip = position.get(candidate)
+            total = 0.0
+            for index, term in enumerate(terms):
+                if index == skip:
+                    continue
+                total += term
+            breakdowns.append(
+                CostBreakdown(
+                    candidate=candidate,
+                    aggregation=total,
+                    io=self.io_cost(candidate, io_bytes),
+                )
+            )
+        return breakdowns

@@ -63,9 +63,14 @@ def _topology_aware(
 
 
 def _shortest_io(
-    partition: Partition, iface: TopologyInterface
+    partition: Partition, iface: TopologyInterface, model: AggregationCostModel
 ) -> tuple[int, CostBreakdown]:
-    model = AggregationCostModel(iface)
+    """Winner by distance-to-I/O-node alone, costed with the caller's model.
+
+    The model is the one ``place_aggregators`` built (it may carry the
+    caller's contention factors); constructing a fresh contention-free model
+    here would report breakdowns that ignore multi-job background traffic.
+    """
     candidates = []
     for rank in partition.ranks:
         distance = iface.distance_to_io_node(rank)
@@ -108,6 +113,7 @@ def place_aggregators(
     strategy: str = "topology-aware",
     seed: int | None = None,
     granularity: str = "rank",
+    contention=None,
 ) -> PlacementResult:
     """Elect one aggregator per partition with the requested strategy.
 
@@ -120,13 +126,23 @@ def place_aggregators(
             candidate (what the distributed election does); ``"node"``
             evaluates one candidate per node, which is equivalent under the
             cost model and is used by the large-scale analytic path.
+        contention: optional background-traffic factors
+            (:class:`~repro.core.cost_model.ContentionFactors`) folded into
+            the one cost model every strategy's breakdowns come from;
+            ``None`` reproduces the paper's dedicated-machine costs.
+
+    The cost model is built once and shared by all partitions and
+    strategies; with the fast path on, the topology-aware election is
+    evaluated against precomputed per-node distance/bandwidth arrays
+    (bit-identical to the scalar path, see
+    :meth:`~repro.core.cost_model.AggregationCostModel.best_candidate`).
     """
     require(len(partitions) > 0, "no partitions to place aggregators for")
     require(
         granularity in ("rank", "node"),
         f"granularity must be 'rank' or 'node', got {granularity!r}",
     )
-    model = AggregationCostModel(iface)
+    model = AggregationCostModel(iface, contention=contention)
     result = PlacementResult(strategy=strategy, aggregators=[])
     rng = seeded_rng(seed) if strategy == "random" else None
     for original in partitions:
@@ -139,7 +155,7 @@ def place_aggregators(
             winner, breakdown = _topology_aware(partition, model)
             result.breakdowns[partition.index] = breakdown
         elif strategy == "shortest-io":
-            winner, breakdown = _shortest_io(partition, iface)
+            winner, breakdown = _shortest_io(partition, iface, model)
             result.breakdowns[partition.index] = breakdown
         elif strategy == "max-volume":
             winner = _max_volume(partition)

@@ -21,6 +21,9 @@ core changes, which is the portability argument of the paper.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
 
 from repro.machine.machine import Machine
 from repro.topology.mapping import RankMapping
@@ -49,7 +52,12 @@ class TopologyInterface:
         self.machine = machine
         self.mapping = mapping
         self._topology = machine.topology
-        # Small caches: distances are looked up many times during placement.
+        # Per-interface distance cache, as in the original code.  Under the
+        # fast path the topology additionally memoises per machine instance
+        # (shared across interface objects); keeping this layer means the
+        # scalar path (REPRO_DISABLE_FASTPATH / fastpath_disabled()) is the
+        # *original* pre-fast-path code, not a degraded variant — which is
+        # exactly what the benchmark suite's speedups are measured against.
         self._distance_cache = lru_cache(maxsize=65536)(self._distance_uncached)
 
     # ------------------------------------------------------------------ #
@@ -134,3 +142,23 @@ class TopologyInterface:
 
     def _distance_uncached(self, src_node: int, dst_node: int) -> int:
         return self._topology.distance(src_node, dst_node)
+
+    # ------------------------------------------------------------------ #
+    # Batch queries (the placement fast path)
+    # ------------------------------------------------------------------ #
+
+    def node_pair_arrays(
+        self, nodes: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node-pair ``(hops, bandwidths)`` matrices over ``nodes``.
+
+        ``hops[i, j]`` equals :meth:`distance_between_ranks` for ranks on
+        ``nodes[i]``/``nodes[j]``; ``bandwidths[i, j]`` equals
+        :meth:`bandwidth_between_ranks` — the narrowest link on the route,
+        with same-node pairs charged at the node's main-memory bandwidth.
+        The placement cost model evaluates every candidate of a partition
+        against these arrays instead of issuing per-pair scalar queries.
+        """
+        hops, bandwidths = self._topology.pair_metrics(nodes)
+        memory_bw = self.machine.node_spec.main_memory.bandwidth
+        return hops, np.where(np.isinf(bandwidths), memory_bw, bandwidths)

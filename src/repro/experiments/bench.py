@@ -1,0 +1,239 @@
+"""The tracked benchmark suite behind ``repro bench``.
+
+Each benchmark measures one hot path of the reproduction and reports a
+throughput number; the placement and tuning benchmarks additionally run the
+same workload on the original scalar path (:mod:`repro.utils.fastpath`) so
+every ``BENCH_*.json`` documents the fast-path speedup it ships with, not
+just an absolute number that silently depends on the host.
+
+The suite is deliberately cheap (seconds, not minutes): it exists to be run
+on every PR — ``BENCH_5.json`` at the repository root is the first point of
+the trajectory, and CI re-runs the suite at smoke scale with a throughput
+floor so a regression on the placement path fails the build.
+
+All benchmarks are model-level (no subprocesses): interpreter start-up and
+imports are excluded, which is what makes the numbers comparable across
+commits.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.utils.fastpath import fastpath_disabled
+
+#: Schema tag written into every benchmark artifact.
+BENCH_SCHEMA = "repro-bench-v1"
+
+
+def _timed(fn: Callable[[], object]) -> tuple[object, float]:
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _fresh_state() -> None:
+    """Reset every cross-call cache so each measurement starts cold.
+
+    The fast path's numbers must not borrow warmth from the scalar run (or
+    vice versa): memoised machines carry the per-topology route/distance
+    caches, and the block-mapping memo carries the default mappings.
+    """
+    from repro.scenario.simulation import clear_machine_cache
+    from repro.topology.mapping import _cached_block_mapping
+
+    clear_machine_cache()
+    _cached_block_mapping.cache_clear()
+
+
+def bench_placement(
+    machine_kind: str = "theta",
+    *,
+    nodes: int = 512,
+    num_aggregators: int = 8,
+    ranks_per_node: int = 16,
+) -> dict:
+    """Topology-aware aggregator placement throughput (candidates/second).
+
+    Builds a fresh machine, partitions a HACC-IO workload into
+    ``num_aggregators`` partitions and elects aggregators at node
+    granularity — the analytic models' hot loop.  With few aggregators every
+    partition spans many nodes, which is the quadratic
+    (candidates × senders) worst case the fast path is built for.
+    """
+    from repro.core.partitioning import build_partitions
+    from repro.core.placement import place_aggregators
+    from repro.core.topology_iface import TopologyInterface
+    from repro.machine.mira import MiraMachine
+    from repro.machine.theta import ThetaMachine
+    from repro.topology.mapping import block_mapping
+    from repro.workloads.hacc import HACCIOWorkload
+
+    def run() -> tuple[int, float]:
+        machine = (
+            ThetaMachine(nodes) if machine_kind == "theta" else MiraMachine(nodes)
+        )
+        num_ranks = nodes * ranks_per_node
+        workload = HACCIOWorkload(num_ranks, 25_000, layout="aos")
+        mapping = block_mapping(num_ranks, machine.num_nodes, ranks_per_node)
+        iface = TopologyInterface(machine, mapping)
+        partitions = build_partitions(
+            workload, num_aggregators, machine=machine, mapping=mapping
+        )
+        candidates = sum(
+            len({mapping.node(rank) for rank in p.ranks}) for p in partitions
+        )
+        placement, wall = _timed(
+            lambda: place_aggregators(
+                partitions, iface, strategy="topology-aware", granularity="node"
+            )
+        )
+        assert len(placement.aggregators) == len(partitions)
+        return candidates, wall
+
+    _fresh_state()
+    with fastpath_disabled():
+        candidates, scalar_wall = run()
+    _fresh_state()
+    fast_candidates, fast_wall = run()
+    assert fast_candidates == candidates
+    return {
+        "machine": machine_kind,
+        "nodes": nodes,
+        "num_aggregators": num_aggregators,
+        "candidates": candidates,
+        "scalar": {"wall_s": scalar_wall, "candidates_per_s": candidates / scalar_wall},
+        "fast": {"wall_s": fast_wall, "candidates_per_s": candidates / fast_wall},
+        "speedup": scalar_wall / fast_wall,
+    }
+
+
+def bench_tune(
+    target: str = "fig08", *, budget: int = 64, scale: float = 1.0
+) -> dict:
+    """Autotuning throughput (candidate points/second) on a registered target.
+
+    This is the in-process counterpart of the CI ``repro tune fig08`` smoke
+    step: a seeded random search over the target's suggested space, scored
+    through the simulation facade.  Fast and scalar modes both start from
+    cold caches.
+    """
+    from repro.autotune.defaults import as_tunable, suggest_space
+    from repro.autotune.tuner import TuneTarget, Tuner
+    from repro.scenario.registry import get_scenario
+
+    def builder(divisor: float):
+        return as_tunable(get_scenario(target, scale=divisor))
+
+    def run() -> tuple[int, float]:
+        base = builder(scale)
+        tuner = Tuner(
+            TuneTarget(name=base.id, builder=builder, scale=scale),
+            suggest_space(base),
+            None,
+            jobs=1,
+            seed=2017,
+        )
+        trace, wall = _timed(lambda: tuner.tune("random", budget))
+        return len(trace.points), wall
+
+    _fresh_state()
+    with fastpath_disabled():
+        scalar_points, scalar_wall = run()
+    _fresh_state()
+    fast_points, fast_wall = run()
+    assert fast_points == scalar_points
+    return {
+        "target": target,
+        "budget": budget,
+        "scale": scale,
+        "points": fast_points,
+        "scalar": {"wall_s": scalar_wall, "points_per_s": scalar_points / scalar_wall},
+        "fast": {"wall_s": fast_wall, "points_per_s": fast_points / fast_wall},
+        "speedup": scalar_wall / fast_wall,
+    }
+
+
+def bench_run_all(*, scale: float = 8.0) -> dict:
+    """Wall time of a sequential in-process sweep over every experiment."""
+    from repro.experiments.runner import run_experiments
+
+    _fresh_state()
+    report, wall = _timed(lambda: run_experiments(scale=scale, jobs=1))
+    return {
+        "scale": scale,
+        "experiments": len(report.outcomes),
+        "all_checks_pass": report.all_checks_pass(),
+        "wall_s": wall,
+    }
+
+
+def run_suite(
+    *,
+    nodes: int = 512,
+    num_aggregators: int = 8,
+    tune_target: str = "fig08",
+    tune_budget: int = 64,
+    tune_scale: float = 1.0,
+    run_all_scale: float = 8.0,
+    on_progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run every benchmark and assemble the ``BENCH_*.json`` payload."""
+    from repro.experiments.store import git_sha
+
+    def progress(message: str) -> None:
+        if on_progress is not None:
+            on_progress(message)
+
+    results: dict[str, dict] = {}
+    for kind in ("theta", "mira"):
+        progress(f"placement/{kind}: {nodes} nodes, {num_aggregators} aggregators")
+        results[f"placement_{kind}"] = bench_placement(
+            kind, nodes=nodes, num_aggregators=num_aggregators
+        )
+    progress(f"tune/{tune_target}: budget {tune_budget} at scale {tune_scale:g}")
+    results["tune"] = bench_tune(tune_target, budget=tune_budget, scale=tune_scale)
+    progress(f"run-all at scale {run_all_scale:g}")
+    results["run_all"] = bench_run_all(scale=run_all_scale)
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_sha": git_sha(),
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {
+            "nodes": nodes,
+            "num_aggregators": num_aggregators,
+            "tune_target": tune_target,
+            "tune_budget": tune_budget,
+            "tune_scale": tune_scale,
+            "run_all_scale": run_all_scale,
+        },
+        "results": results,
+    }
+
+
+def render_suite(payload: dict) -> str:
+    """Human-readable one-screen summary of a benchmark payload."""
+    results = payload["results"]
+    lines = [f"benchmark suite ({payload['schema']}, commit {payload['git_sha'] or '?'})"]
+    for kind in ("theta", "mira"):
+        entry = results[f"placement_{kind}"]
+        lines.append(
+            f"  placement/{kind:<6} {entry['fast']['candidates_per_s']:>10,.0f} "
+            f"candidates/s  (scalar {entry['scalar']['candidates_per_s']:,.0f}, "
+            f"speedup {entry['speedup']:.1f}x)"
+        )
+    tune = results["tune"]
+    lines.append(
+        f"  tune/{tune['target']:<11} {tune['fast']['points_per_s']:>10,.1f} "
+        f"points/s      (scalar {tune['scalar']['points_per_s']:,.1f}, "
+        f"speedup {tune['speedup']:.1f}x)"
+    )
+    run_all = results["run_all"]
+    lines.append(
+        f"  run-all           {run_all['wall_s']:>10.2f} s           "
+        f"({run_all['experiments']} experiments at scale "
+        f"{run_all['scale']:g}, checks "
+        f"{'pass' if run_all['all_checks_pass'] else 'FAIL'})"
+    )
+    return "\n".join(lines)

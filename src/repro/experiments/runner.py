@@ -10,12 +10,23 @@ When an :class:`~repro.experiments.store.ArtifactStore` is supplied, each
 finished experiment is persisted as a JSON artifact and — unless caching is
 disabled — experiments whose ``(experiment_id, scale)`` key is already in
 the store are *not* re-run: their stored result is returned as a cache hit.
+
+The module keeps **one persistent worker pool** for the whole process:
+experiment sweeps and autotune candidate batches share it, so repeated calls
+(a tuning strategy submits one batch per search round) reuse warm workers —
+imports resolved, the memoised machine cache and the topology route/distance
+caches filled by earlier tasks — instead of paying process start-up and cold
+caches per call.  Workers are pre-warmed by an initializer that resolves the
+heavy registries (and, for candidate evaluation, the batch's machine specs)
+before the first task lands.
 """
 
 from __future__ import annotations
 
+import atexit
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
@@ -72,6 +83,69 @@ class RunReport:
         return sum(o.wall_time_s for o in self.outcomes if not o.cached)
 
 
+def _warm_worker(machine_specs: tuple = ()) -> None:
+    """Worker initializer: resolve the heavy registries before the first task.
+
+    Importing the experiment harness and the scenario layer pulls in every
+    model module once per worker process instead of once per task; resolving
+    the given machine-spec payloads pre-warms the memoised machine cache (and
+    with it the per-topology route/distance caches every later task shares).
+    """
+    from repro.experiments import harness  # noqa: F401 - import warms registry
+    from repro.scenario.simulation import resolve_machine
+    from repro.scenario.spec import MachineSpec
+
+    for payload in machine_specs:
+        try:
+            resolve_machine(MachineSpec.from_dict(payload))
+        except Exception:
+            # Warm-up is best effort: an unresolvable spec will produce its
+            # real error when the actual candidate is evaluated.
+            pass
+
+
+#: The process-wide worker pool, created on first parallel call and reused
+#: until the worker count changes or the interpreter exits.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(workers: int, machine_specs: tuple = ()) -> ProcessPoolExecutor:
+    """The shared executor, (re)created only when the worker count changes."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(machine_specs,),
+        )
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (tests; automatic at interpreter exit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _submit_retrying(pool_args: tuple, fn, /, *args):
+    """Submit to the shared pool, rebuilding it once if it has broken workers."""
+    try:
+        return _get_pool(*pool_args).submit(fn, *args)
+    except BrokenProcessPool:
+        shutdown_pool()
+        return _get_pool(*pool_args).submit(fn, *args)
+
+
 def _execute(
     experiment_id: str, scale: float, overrides: dict | None = None
 ) -> tuple[str, ExperimentResult, float]:
@@ -105,6 +179,27 @@ def _evaluate_candidate(payload: dict, objective: str) -> tuple[bool, float | st
         return False, str(error)
 
 
+def _evaluate_candidate_batch(
+    payloads: list[dict], objective: str
+) -> list[tuple[bool, float | str]]:
+    """Worker entry point: score a chunk of candidates in one task."""
+    return [_evaluate_candidate(payload, objective) for payload in payloads]
+
+
+def _machine_spec_payloads(payloads: list[dict], limit: int = 8) -> tuple:
+    """Distinct machine sub-specs of a candidate batch (worker warm-up)."""
+    seen: dict[tuple, dict] = {}
+    for payload in payloads:
+        machine = payload.get("machine")
+        if isinstance(machine, dict):
+            key = tuple(sorted((k, repr(v)) for k, v in machine.items()))
+            if key not in seen:
+                seen[key] = machine
+                if len(seen) >= limit:
+                    break
+    return tuple(seen.values())
+
+
 def evaluate_candidates(
     payloads: list[dict], objective: str, *, jobs: int = 1
 ) -> list[tuple[bool, float | str]]:
@@ -112,10 +207,13 @@ def evaluate_candidates(
 
     The tuning counterpart of :func:`run_experiments`: candidate scenarios
     are pure data (``Scenario.to_dict`` payloads), so a batch fans out over
-    a :class:`~concurrent.futures.ProcessPoolExecutor` exactly like a
-    figure sweep.  Results come back in input order; a candidate the
-    scenario tree rejects yields ``(False, message)`` instead of poisoning
-    the batch.
+    the shared persistent worker pool exactly like a figure sweep.  The
+    batch is split into a few contiguous chunks per worker — one pickled
+    task per chunk instead of per candidate — and a strategy's successive
+    batches land on the same warm workers (modules imported, machine and
+    topology caches filled by earlier rounds).  Results come back in input
+    order; a candidate the scenario tree rejects yields ``(False, message)``
+    instead of poisoning the batch.
 
     Args:
         payloads: ``Scenario.to_dict`` outputs, one per candidate.
@@ -124,14 +222,23 @@ def evaluate_candidates(
         jobs: worker processes; ``1`` evaluates in-process.
     """
     if jobs <= 1 or len(payloads) <= 1:
-        return [_evaluate_candidate(payload, objective) for payload in payloads]
-    workers = min(jobs, len(payloads))
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        futures = [
-            executor.submit(_evaluate_candidate, payload, objective)
-            for payload in payloads
-        ]
-        return [future.result() for future in futures]
+        return _evaluate_candidate_batch(payloads, objective)
+    # Amortise pickling/dispatch: a handful of chunks per worker balances
+    # task-size variance against per-task overhead.
+    chunk_size = max(1, -(-len(payloads) // (jobs * 4)))
+    chunks = [
+        payloads[start : start + chunk_size]
+        for start in range(0, len(payloads), chunk_size)
+    ]
+    pool_args = (jobs, _machine_spec_payloads(payloads))
+    futures = [
+        _submit_retrying(pool_args, _evaluate_candidate_batch, chunk, objective)
+        for chunk in chunks
+    ]
+    results: list[tuple[bool, float | str]] = []
+    for future in futures:
+        results.extend(future.result())
+    return results
 
 
 def run_experiments(
@@ -275,21 +382,25 @@ def _run_parallel(
     fail_fast: bool,
     record: Callable[[RunOutcome], None],
 ) -> None:
-    workers = min(jobs, len(ids))
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        pending = {executor.submit(_execute, eid, scale, overrides) for eid in ids}
-        failed = False
-        try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    experiment_id, result, wall_time = future.result()
-                    _persist(store, result, scale, wall_time, overrides)
-                    record(RunOutcome(experiment_id, result, wall_time))
-                    if fail_fast and not result.all_checks_pass():
-                        failed = True
-                if failed:
-                    break
-        finally:
-            for future in pending:
-                future.cancel()
+    # The shared pool is sized to the requested job count and *kept alive*
+    # after the sweep: a follow-up run-all or tuning batch reuses the warm
+    # workers instead of re-importing the world.
+    pool_args = (jobs, ())
+    pending = {
+        _submit_retrying(pool_args, _execute, eid, scale, overrides) for eid in ids
+    }
+    failed = False
+    try:
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                experiment_id, result, wall_time = future.result()
+                _persist(store, result, scale, wall_time, overrides)
+                record(RunOutcome(experiment_id, result, wall_time))
+                if fail_fast and not result.all_checks_pass():
+                    failed = True
+            if failed:
+                break
+    finally:
+        for future in pending:
+            future.cancel()

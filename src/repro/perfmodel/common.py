@@ -4,10 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.machine.machine import Machine
 from repro.storage.base import FileSystemModel
 from repro.storage.lustre import LustreModel, LustreStripeConfig
 from repro.topology.mapping import RankMapping, block_mapping
+from repro.utils.fastpath import fastpath_enabled
 from repro.utils.validation import require, require_positive
 from repro.workloads.base import Workload
 
@@ -45,6 +48,15 @@ class ModelContext:
 
     def nodes_of_ranks(self, ranks: list[int]) -> list[int]:
         """Distinct nodes hosting ``ranks`` (ascending)."""
+        if fastpath_enabled() and len(ranks) > 32:
+            # Vectorised fast path: one gather + unique instead of a Python
+            # bounds-checked lookup per rank.  Out-of-range ranks (numpy
+            # would wrap negatives silently) drop to the scalar path, which
+            # raises the mapping's own error.
+            indices = np.asarray(ranks)
+            table = self.mapping.node_array
+            if indices.size and 0 <= indices.min() and indices.max() < table.size:
+                return np.unique(table[indices]).tolist()
         return sorted({self.mapping.node(r) for r in ranks})
 
 

@@ -20,7 +20,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.topology.base import Topology
+from repro.utils.fastpath import fastpath_enabled
 from repro.utils.validation import require
+
+#: Cap on memoised flow analyses per topology instance (cleared wholesale).
+_MAX_FLOW_CACHE = 512
 
 
 @dataclass
@@ -80,8 +84,30 @@ def analyze_flows(
         many aggregation streams the link is shared between.
     """
     require(len(senders_by_aggregator) > 0, "no aggregation flows to analyse")
+    # The analysis is a pure function of (topology, flow pattern) and every
+    # consumer treats it as read-only, so it is memoised on the topology
+    # instance: tuning candidates and sweep points that differ only in
+    # buffer/stripe tunables share one flow pattern and pay for it once.
+    cache_key = None
+    if fastpath_enabled():
+        cache_key = (
+            tuple(
+                (aggregator, tuple(senders))
+                for aggregator, senders in senders_by_aggregator.items()
+            ),
+            max_senders_per_aggregator,
+        )
+        cache = topology.__dict__.get("_fp_flow_cache")
+        if cache is None:
+            cache = topology.__dict__["_fp_flow_cache"] = {}
+        hit = cache.get(cache_key)
+        if hit is not None:
+            return hit
     analysis = FlowAnalysis()
-    # First pass: per-link set of aggregators using the link.
+    # First pass: per-link set of aggregators using the link.  Routes come
+    # out of the topology's per-instance route cache: pairs the placement or
+    # an earlier sweep point / tuning candidate / co-scheduled job already
+    # materialised are served as dictionary hits instead of being re-routed.
     aggregators_on_link: dict[tuple, set[int]] = {}
     routes_by_aggregator: dict[int, list] = {}
     for aggregator, senders in senders_by_aggregator.items():
@@ -89,10 +115,8 @@ def analyze_flows(
         if len(senders) > max_senders_per_aggregator:
             step = len(senders) / max_senders_per_aggregator
             senders = [senders[int(i * step)] for i in range(max_senders_per_aggregator)]
-        routes = []
-        for sender in senders:
-            route = topology.route(sender, aggregator)
-            routes.append(route)
+        routes = [topology.route(sender, aggregator) for sender in senders]
+        for route in routes:
             for link in route.links:
                 analysis.link_load[link.key] += 1
                 aggregators_on_link.setdefault(link.key, set()).add(aggregator)
@@ -117,4 +141,9 @@ def analyze_flows(
             if min_bandwidth != float("inf")
             else topology.link_bandwidth("default")
         )
+    if cache_key is not None:
+        cache = topology.__dict__["_fp_flow_cache"]
+        if len(cache) >= _MAX_FLOW_CACHE:
+            cache.clear()
+        cache[cache_key] = analysis
     return analysis

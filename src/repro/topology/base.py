@@ -13,6 +13,16 @@ the paper's cost model (Section IV-B):
 Nodes are integers in ``range(num_nodes)``.  Routes may traverse auxiliary
 vertices (switches, routers); these are represented as hashable endpoint
 identifiers so that flow counting does not need to know the topology type.
+
+Fast path.  ``distance``/``route`` answers are memoised per topology
+instance, ``Link`` objects are interned (one object per directed link of the
+machine instead of a fresh allocation per route), and the batch queries
+:meth:`Topology.distances_from` / :meth:`Topology.routes_from` /
+:meth:`Topology.path_bandwidths_from` let the cost model evaluate a whole
+candidate set without per-pair Python dispatch.  Concrete topologies plug in
+closed-form vectorised kernels via ``_batch_distances`` /
+``_batch_path_bandwidths``.  All of this is disabled (bit-identical results,
+original evaluation order) under :func:`repro.utils.fastpath.fastpath_disabled`.
 """
 
 from __future__ import annotations
@@ -21,11 +31,20 @@ import abc
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
-import networkx as nx
+import numpy as np
+
+from repro.utils.fastpath import fastpath_enabled
 
 #: A route endpoint: either a compute node id (int) or a tagged auxiliary
 #: vertex such as ``("router", 12)`` or ``("switch", 3)``.
 Endpoint = Hashable
+
+#: Cache-size caps.  The caches are cleared wholesale when they overflow —
+#: the access pattern (placement sweeps over a fixed node set) makes a
+#: full clear-and-refill far cheaper than per-entry LRU bookkeeping.
+_MAX_DISTANCE_CACHE = 1 << 20
+_MAX_ROUTE_CACHE = 1 << 18
+_MAX_PAIR_CELLS = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -141,13 +160,51 @@ class Topology(abc.ABC):
     # Metric quantities used by the cost model
     # ------------------------------------------------------------------ #
 
-    @abc.abstractmethod
     def distance(self, src: int, dst: int) -> int:
-        """Number of hops ``d(src, dst)`` between two compute nodes."""
+        """Number of hops ``d(src, dst)`` between two compute nodes.
+
+        Memoised per instance; the uncached computation lives in
+        :meth:`_distance_impl`.
+        """
+        if not fastpath_enabled():
+            return self._distance_impl(src, dst)
+        cache = self.__dict__.get("_fp_distances")
+        if cache is None:
+            cache = self.__dict__["_fp_distances"] = {}
+        key = (src, dst)
+        hit = cache.get(key)
+        if hit is None:
+            if len(cache) >= _MAX_DISTANCE_CACHE:
+                cache.clear()
+            hit = cache[key] = self._distance_impl(src, dst)
+        return hit
+
+    def route(self, src: int, dst: int) -> Route:
+        """The deterministic (minimal) route between two compute nodes.
+
+        Memoised per instance; the uncached computation lives in
+        :meth:`_route_impl`.
+        """
+        if not fastpath_enabled():
+            return self._route_impl(src, dst)
+        cache = self.__dict__.get("_fp_routes")
+        if cache is None:
+            cache = self.__dict__["_fp_routes"] = {}
+        key = (src, dst)
+        hit = cache.get(key)
+        if hit is None:
+            if len(cache) >= _MAX_ROUTE_CACHE:
+                cache.clear()
+            hit = cache[key] = self._route_impl(src, dst)
+        return hit
 
     @abc.abstractmethod
-    def route(self, src: int, dst: int) -> Route:
-        """The deterministic (minimal) route between two compute nodes."""
+    def _distance_impl(self, src: int, dst: int) -> int:
+        """Uncached hop count between two compute nodes."""
+
+    @abc.abstractmethod
+    def _route_impl(self, src: int, dst: int) -> Route:
+        """Uncached deterministic route between two compute nodes."""
 
     @abc.abstractmethod
     def latency(self) -> float:
@@ -160,6 +217,134 @@ class Topology(abc.ABC):
         ``kind="default"`` returns the bandwidth of the most common
         node-to-node link class; concrete topologies document their classes.
         """
+
+    # ------------------------------------------------------------------ #
+    # Link interning
+    # ------------------------------------------------------------------ #
+
+    def _intern_link(
+        self, src: Endpoint, dst: Endpoint, kind: str, bandwidth: float
+    ) -> Link:
+        """One shared :class:`Link` object per directed link of the machine.
+
+        Routes traverse the same physical links over and over; interning
+        keeps one frozen ``Link`` per ``(src, dst, kind)`` instead of
+        allocating an identical object on every ``route()`` call.  Interning
+        is keyed per topology instance, so two machines with different link
+        bandwidths never share objects.
+        """
+        pool = self.__dict__.get("_fp_links")
+        if pool is None:
+            pool = self.__dict__["_fp_links"] = {}
+        key = (src, dst, kind)
+        link = pool.get(key)
+        if link is None:
+            link = pool[key] = Link(src, dst, kind, bandwidth)
+        return link
+
+    # ------------------------------------------------------------------ #
+    # Batch queries (the placement fast path)
+    # ------------------------------------------------------------------ #
+
+    def _as_node_array(self, nodes: Iterable[int]) -> np.ndarray:
+        """Validated int64 array of compute-node ids."""
+        ids = np.asarray(list(nodes), dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_nodes):
+            bad = ids[(ids < 0) | (ids >= self.num_nodes)][0]
+            raise ValueError(
+                f"node must be in [0, {self.num_nodes}), got {int(bad)!r}"
+            )
+        return ids
+
+    def distances_from(self, node: int, nodes: Iterable[int]) -> np.ndarray:
+        """Hop distances from ``node`` to each node of ``nodes`` (int64 array).
+
+        Equals ``[self.distance(node, n) for n in nodes]`` exactly; concrete
+        topologies provide a closed-form vectorised kernel via
+        ``_batch_distances`` where the geometry allows it.
+        """
+        self.validate_node(node)
+        ids = self._as_node_array(nodes)
+        if fastpath_enabled():
+            batched = self._batch_distances(node, ids)
+            if batched is not None:
+                return batched
+        return np.fromiter(
+            (self._distance_impl(node, int(n)) for n in ids),
+            dtype=np.int64,
+            count=ids.size,
+        )
+
+    def routes_from(self, node: int, nodes: Iterable[int]) -> list[Route]:
+        """Routes from ``node`` to each node of ``nodes`` (cache-served)."""
+        self.validate_node(node)
+        return [self.route(node, int(n)) for n in self._as_node_array(nodes)]
+
+    def path_bandwidths_from(self, node: int, nodes: Iterable[int]) -> np.ndarray:
+        """Narrowest-link bandwidth from ``node`` to each of ``nodes``.
+
+        Equals ``[self.path_bandwidth(node, n) for n in nodes]`` exactly
+        (``inf`` for self-pairs); concrete topologies provide a closed-form
+        kernel via ``_batch_path_bandwidths``.
+        """
+        self.validate_node(node)
+        ids = self._as_node_array(nodes)
+        if fastpath_enabled():
+            batched = self._batch_path_bandwidths(node, ids)
+            if batched is not None:
+                return batched
+        return np.fromiter(
+            (self.path_bandwidth(node, int(n)) for n in ids),
+            dtype=np.float64,
+            count=ids.size,
+        )
+
+    def _batch_distances(self, node: int, ids: np.ndarray) -> np.ndarray | None:
+        """Vectorised hop kernel; ``None`` falls back to the scalar loop."""
+        return None
+
+    def _batch_path_bandwidths(self, node: int, ids: np.ndarray) -> np.ndarray | None:
+        """Vectorised bottleneck-bandwidth kernel; ``None`` = scalar loop."""
+        return None
+
+    def pair_metrics(self, nodes: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        """``(hops, bandwidths)`` matrices over a node set, cached per set.
+
+        ``hops[i, j]`` is ``distance(nodes[i], nodes[j])`` and
+        ``bandwidths[i, j]`` is ``path_bandwidth(nodes[i], nodes[j])``
+        (``inf`` on the diagonal).  Placement sweeps evaluate the same
+        partition node sets over and over (one call per sweep point, per
+        tuning candidate, per co-scheduled job), so the matrices are cached
+        per node tuple on the topology instance.
+        """
+        key = tuple(int(n) for n in nodes)
+        cache = self.__dict__.get("_fp_pair_metrics")
+        if cache is None:
+            cache = self.__dict__["_fp_pair_metrics"] = {}
+            self.__dict__["_fp_pair_cells"] = 0
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        size = len(key)
+        hops = np.empty((size, size), dtype=np.int64)
+        bandwidths = np.empty((size, size), dtype=np.float64)
+        ids = np.asarray(key, dtype=np.int64)
+        for row, node in enumerate(key):
+            hops[row] = self.distances_from(node, ids)
+            bandwidths[row] = self.path_bandwidths_from(node, ids)
+        # The eviction budget counts matrix cells, not entries: thousands of
+        # small partition sets fit alongside a handful of machine-wide ones.
+        if self.__dict__["_fp_pair_cells"] + size * size > _MAX_PAIR_CELLS:
+            cache.clear()
+            self.__dict__["_fp_pair_cells"] = 0
+        # Cached matrices are shared by reference with every later placement
+        # on this topology; freeze them so a consumer mutation cannot
+        # silently poison the cache.
+        hops.setflags(write=False)
+        bandwidths.setflags(write=False)
+        cache[key] = (hops, bandwidths)
+        self.__dict__["_fp_pair_cells"] += size * size
+        return hops, bandwidths
 
     # ------------------------------------------------------------------ #
     # Derived helpers (shared implementations)
@@ -226,13 +411,15 @@ class Topology(abc.ABC):
                 count += 1
         return total / count
 
-    def to_networkx(self) -> nx.Graph:
+    def to_networkx(self):
         """Export the compute-node adjacency as a :class:`networkx.Graph`.
 
         Auxiliary vertices (routers, switches) are included as tagged nodes so
         the graph can be used for visualisation or independent verification of
         distances in tests.
         """
+        import networkx as nx
+
         graph = nx.Graph()
         graph.add_nodes_from(range(self.num_nodes))
         for node in range(self.num_nodes):

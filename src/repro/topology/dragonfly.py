@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.topology.base import Endpoint, Link, LinkLoad, Route, Topology
 from repro.utils.units import gbps
 from repro.utils.validation import require, require_positive
@@ -174,7 +176,7 @@ class DragonflyTopology(Topology):
             hops += 1  # local hop from the remote gateway to the destination
         return hops
 
-    def distance(self, src: int, dst: int) -> int:
+    def _distance_impl(self, src: int, dst: int) -> int:
         """Router-to-router hops between the nodes' routers (0 if same router).
 
         This matches the paper's statement that the minimal node-to-node
@@ -185,6 +187,55 @@ class DragonflyTopology(Topology):
         if src == dst:
             return 0
         return self.router_distance(self.router_of(src), self.router_of(dst))
+
+    def _batch_distances(self, node: int, ids: np.ndarray) -> np.ndarray:
+        """Closed-form hops from the dragonfly's group arithmetic.
+
+        Same group: one local hop unless the routers coincide.  Different
+        groups: the global link, plus a local hop at either end whenever the
+        endpoint router is not that group's gateway towards the other group.
+        """
+        rpg = self._routers_per_group
+        routers = ids // self._nodes_per_router
+        groups = routers // rpg
+        router_0 = self.router_of(node)
+        group_0 = router_0 // rpg
+        local_0 = router_0 - group_0 * rpg
+        # Gateway mismatch at the source (towards each destination group) and
+        # at the destination (back towards the source's group).
+        extra_src = (groups % rpg) != local_0
+        extra_dst = (group_0 % rpg) != (routers - groups * rpg)
+        cross = 1 + extra_src.astype(np.int64) + extra_dst.astype(np.int64)
+        hops = np.where(groups == group_0, (routers != router_0).astype(np.int64), cross)
+        return np.where(ids == node, 0, hops)
+
+    def _batch_path_bandwidths(self, node: int, ids: np.ndarray) -> np.ndarray:
+        """Bottleneck bandwidth from the link kinds a minimal route crosses.
+
+        Every route enters and leaves through injection/ejection links; a
+        same-group route adds one electrical hop, a cross-group route adds
+        the optical link plus an electrical hop at whichever end is not the
+        gateway router.
+        """
+        rpg = self._routers_per_group
+        routers = ids // self._nodes_per_router
+        groups = routers // rpg
+        router_0 = self.router_of(node)
+        group_0 = router_0 // rpg
+        local_0 = router_0 - group_0 * rpg
+        same_router = self._injection_bw
+        same_group = min(self._injection_bw, self._local_bw)
+        cross_plain = min(self._injection_bw, self._global_bw)
+        cross_local = min(cross_plain, self._local_bw)
+        has_local = ((groups % rpg) != local_0) | (
+            (group_0 % rpg) != (routers - groups * rpg)
+        )
+        bandwidth = np.where(
+            groups == group_0,
+            np.where(routers == router_0, same_router, same_group),
+            np.where(has_local, cross_local, cross_plain),
+        )
+        return np.where(ids == node, np.inf, bandwidth)
 
     def _router_path(self, router_a: int, router_b: int) -> list[tuple[int, int, str]]:
         """Sequence of (router, router, kind) hops between two routers."""
@@ -204,7 +255,7 @@ class DragonflyTopology(Topology):
             path.append((gw_b, router_b, "local"))
         return path
 
-    def route(self, src: int, dst: int) -> Route:
+    def _route_impl(self, src: int, dst: int) -> Route:
         self.validate_node(src, "src")
         self.validate_node(dst, "dst")
         if src == dst:
@@ -212,13 +263,17 @@ class DragonflyTopology(Topology):
         router_src = self.router_of(src)
         router_dst = self.router_of(dst)
         links: list[Link] = [
-            Link(src, ("router", router_src), "injection", self._injection_bw)
+            self._intern_link(
+                src, ("router", router_src), "injection", self._injection_bw
+            )
         ]
         for a, b, kind in self._router_path(router_src, router_dst):
             bandwidth = self._local_bw if kind == "local" else self._global_bw
-            links.append(Link(("router", a), ("router", b), kind, bandwidth))
+            links.append(
+                self._intern_link(("router", a), ("router", b), kind, bandwidth)
+            )
         links.append(
-            Link(("router", router_dst), dst, "ejection", self._injection_bw)
+            self._intern_link(("router", router_dst), dst, "ejection", self._injection_bw)
         )
         return Route(src, dst, tuple(links))
 

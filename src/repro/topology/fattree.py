@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.topology.base import Link, Route, Topology
 from repro.utils.units import gbps
 from repro.utils.validation import require, require_positive
@@ -99,7 +101,7 @@ class FatTreeTopology(Topology):
     # Metrics
     # ------------------------------------------------------------------ #
 
-    def distance(self, src: int, dst: int) -> int:
+    def _distance_impl(self, src: int, dst: int) -> int:
         """Switch-to-switch hops: 0 same node, 1 same leaf, 2 via a spine."""
         self.validate_node(src, "src")
         self.validate_node(dst, "dst")
@@ -109,11 +111,20 @@ class FatTreeTopology(Topology):
             return 1
         return 2
 
+    def _batch_distances(self, node: int, ids: np.ndarray) -> np.ndarray:
+        """Closed form: 0 same node, 1 same leaf, 2 via a spine."""
+        same_leaf = (ids // self._nodes_per_leaf) == self.leaf_of(node)
+        return np.where(ids == node, 0, np.where(same_leaf, 1, 2))
+
+    def _batch_path_bandwidths(self, node: int, ids: np.ndarray) -> np.ndarray:
+        """Every fat-tree link has the same bandwidth; self-pairs are ``inf``."""
+        return np.where(ids == node, np.inf, self._bandwidth)
+
     def _spine_for(self, src_leaf: int, dst_leaf: int) -> int:
         """Deterministic spine choice for a leaf pair (static ECMP hash)."""
         return (src_leaf + dst_leaf) % self._spines
 
-    def route(self, src: int, dst: int) -> Route:
+    def _route_impl(self, src: int, dst: int) -> Route:
         self.validate_node(src, "src")
         self.validate_node(dst, "dst")
         if src == dst:
@@ -121,17 +132,23 @@ class FatTreeTopology(Topology):
         leaf_src = self.leaf_of(src)
         leaf_dst = self.leaf_of(dst)
         links: list[Link] = [
-            Link(src, ("leaf", leaf_src), "injection", self._bandwidth)
+            self._intern_link(src, ("leaf", leaf_src), "injection", self._bandwidth)
         ]
         if leaf_src != leaf_dst:
             spine = self._spine_for(leaf_src, leaf_dst)
             links.append(
-                Link(("leaf", leaf_src), ("spine", spine), "uplink", self._bandwidth)
+                self._intern_link(
+                    ("leaf", leaf_src), ("spine", spine), "uplink", self._bandwidth
+                )
             )
             links.append(
-                Link(("spine", spine), ("leaf", leaf_dst), "downlink", self._bandwidth)
+                self._intern_link(
+                    ("spine", spine), ("leaf", leaf_dst), "downlink", self._bandwidth
+                )
             )
-        links.append(Link(("leaf", leaf_dst), dst, "ejection", self._bandwidth))
+        links.append(
+            self._intern_link(("leaf", leaf_dst), dst, "ejection", self._bandwidth)
+        )
         return Route(src, dst, tuple(links))
 
     def latency(self) -> float:

@@ -19,10 +19,12 @@ Three mappings are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 from typing import Sequence
 
 import numpy as np
 
+from repro.utils.fastpath import fastpath_enabled
 from repro.utils.rng import seeded_rng
 from repro.utils.validation import require, require_positive
 
@@ -64,7 +66,18 @@ class RankMapping:
 
     def as_array(self) -> np.ndarray:
         """The mapping as a NumPy int array (copy)."""
-        return np.asarray(self.node_of_rank, dtype=np.int64)
+        return self.node_array.copy()
+
+    @cached_property
+    def node_array(self) -> np.ndarray:
+        """Read-only array form of ``node_of_rank``, built once per mapping.
+
+        The write flag is cleared so vectorised consumers (the analytic
+        models' node gathers) can share it without defensive copies.
+        """
+        array = np.asarray(self.node_of_rank, dtype=np.int64)
+        array.setflags(write=False)
+        return array
 
 
 def _validate(num_ranks: int, num_nodes: int, ranks_per_node: int) -> None:
@@ -79,7 +92,27 @@ def _validate(num_ranks: int, num_nodes: int, ranks_per_node: int) -> None:
 
 
 def block_mapping(num_ranks: int, num_nodes: int, ranks_per_node: int) -> RankMapping:
-    """Block mapping: ranks 0..R-1 fill node 0, then node 1, ..."""
+    """Block mapping: ranks 0..R-1 fill node 0, then node 1, ...
+
+    Memoised under the fast path: mappings are immutable pure functions of
+    their arguments, and the analytic models rebuild the same default block
+    mapping for every sweep point and tuning candidate of a scenario.
+    """
+    if fastpath_enabled():
+        return _cached_block_mapping(num_ranks, num_nodes, ranks_per_node)
+    return _block_mapping_uncached(num_ranks, num_nodes, ranks_per_node)
+
+
+@lru_cache(maxsize=256)
+def _cached_block_mapping(
+    num_ranks: int, num_nodes: int, ranks_per_node: int
+) -> RankMapping:
+    return _block_mapping_uncached(num_ranks, num_nodes, ranks_per_node)
+
+
+def _block_mapping_uncached(
+    num_ranks: int, num_nodes: int, ranks_per_node: int
+) -> RankMapping:
     _validate(num_ranks, num_nodes, ranks_per_node)
     nodes = tuple(min(r // ranks_per_node, num_nodes - 1) for r in range(num_ranks))
     return RankMapping(nodes, num_nodes, ranks_per_node)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.topology.base import Link, Route, Topology
 from repro.utils.units import gbps
 from repro.utils.validation import require, require_positive
@@ -63,6 +65,9 @@ class TorusTopology(Topology):
         for i in range(len(dims) - 2, -1, -1):
             self._strides[i] = self._strides[i + 1] * dims[i + 1]
         self.name = f"{len(dims)}D torus {'x'.join(str(d) for d in dims)}"
+        # Vectorised copies of the geometry for the batch kernels.
+        self._dims_array = np.asarray(dims, dtype=np.int64)
+        self._strides_array = np.asarray(self._strides, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -133,7 +138,7 @@ class TorusTopology(Topology):
         backward = (a - b) % size
         return +1 if forward <= backward else -1
 
-    def distance(self, src: int, dst: int) -> int:
+    def _distance_impl(self, src: int, dst: int) -> int:
         src_coords = self.coordinates(src)
         dst_coords = self.coordinates(dst)
         return sum(
@@ -141,7 +146,21 @@ class TorusTopology(Topology):
             for a, b, dim in zip(src_coords, dst_coords, self._dims)
         )
 
-    def route(self, src: int, dst: int) -> Route:
+    def _coordinates_of(self, ids: np.ndarray) -> np.ndarray:
+        """Coordinates of many node ids at once, shape ``(len(ids), ndims)``."""
+        return (ids[:, None] // self._strides_array) % self._dims_array
+
+    def _batch_distances(self, node: int, ids: np.ndarray) -> np.ndarray:
+        """Closed-form hop count: per-axis shortest ring distance, summed."""
+        base = np.asarray(self.coordinates(node), dtype=np.int64)
+        diff = np.abs(self._coordinates_of(ids) - base)
+        return np.minimum(diff, self._dims_array - diff).sum(axis=1)
+
+    def _batch_path_bandwidths(self, node: int, ids: np.ndarray) -> np.ndarray:
+        """Every torus link has the same bandwidth; self-pairs are ``inf``."""
+        return np.where(ids == node, np.inf, self._bandwidth)
+
+    def _route_impl(self, src: int, dst: int) -> Route:
         """Dimension-order route: correct each dimension in turn."""
         self.validate_node(src, "src")
         self.validate_node(dst, "dst")
@@ -156,7 +175,7 @@ class TorusTopology(Topology):
                 here = self.node_from_coordinates(current)
                 current[axis] = (current[axis] + step) % dim
                 there = self.node_from_coordinates(current)
-                links.append(Link(here, there, "torus", self._bandwidth))
+                links.append(self._intern_link(here, there, "torus", self._bandwidth))
         return Route(src, dst, tuple(links))
 
     def latency(self) -> float:
@@ -186,7 +205,9 @@ class TorusTopology(Topology):
         for node in sorted(member):
             for neighbor in self.neighbors(node):
                 if neighbor in member:
-                    links.append(Link(node, neighbor, "torus", self._bandwidth))
+                    links.append(
+                        self._intern_link(node, neighbor, "torus", self._bandwidth)
+                    )
         return links
 
     # ------------------------------------------------------------------ #

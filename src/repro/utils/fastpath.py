@@ -1,0 +1,49 @@
+"""Global switch for the routing/cost fast-path engine.
+
+The fast path (per-topology route/distance caches, vectorised batch
+distance computation, batched candidate evaluation in the placement cost
+model) is a pure evaluation-order/caching optimisation: with the switch on
+or off, every model output is bit-for-bit identical.  The switch exists so
+
+* the benchmark suite (``repro bench``) can measure the speedup against the
+  original scalar path on the same interpreter, and
+* the property tests can assert cached/batched results equal the uncached
+  scalar results on randomised inputs.
+
+Set ``REPRO_DISABLE_FASTPATH=1`` to start with the fast path off.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = os.environ.get("REPRO_DISABLE_FASTPATH", "").lower() not in (
+    "1",
+    "true",
+    "yes",
+)
+
+
+def fastpath_enabled() -> bool:
+    """Whether the routing/cost fast path is currently active."""
+    return _ENABLED
+
+
+def set_fastpath(enabled: bool) -> None:
+    """Turn the fast path on or off process-wide."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def fastpath_disabled() -> Iterator[None]:
+    """Run a block on the original scalar path (benchmarks, property tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous

@@ -1,0 +1,93 @@
+"""The ``repro bench`` subcommand and the benchmark suite payload."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.bench import BENCH_SCHEMA, bench_placement, render_suite
+
+#: Tiny parameters so the whole CLI round-trip stays in CI-smoke territory.
+_FAST_ARGS = [
+    "--nodes",
+    "32",
+    "--aggregators",
+    "4",
+    "--tune-budget",
+    "4",
+    "--tune-scale",
+    "8",
+    # Scale 8 (not higher): the registry's qualitative checks are only
+    # validated at scales 1 and 8, and table1 genuinely fails beyond that.
+    "--run-all-scale",
+    "8",
+]
+
+
+def test_bench_writes_payload_and_summary(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    code = main(["bench", "--out", str(out), *_FAST_ARGS])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == BENCH_SCHEMA
+    results = payload["results"]
+    for kind in ("theta", "mira"):
+        entry = results[f"placement_{kind}"]
+        assert entry["nodes"] == 32
+        assert entry["fast"]["candidates_per_s"] > 0
+        assert entry["scalar"]["candidates_per_s"] > 0
+        assert entry["speedup"] == pytest.approx(
+            entry["scalar"]["wall_s"] / entry["fast"]["wall_s"]
+        )
+    assert results["tune"]["points"] == 4
+    assert results["run_all"]["experiments"] > 0
+    captured = capsys.readouterr()
+    assert "placement/theta" in captured.out
+    assert str(out) in captured.out
+
+
+def test_bench_enforces_placement_floor(tmp_path, capsys):
+    out = tmp_path / "BENCH_floor.json"
+    code = main(
+        ["bench", "--out", str(out), *_FAST_ARGS, "--min-placement-rate", "1e12"]
+    )
+    assert code == 1
+    assert "below the floor" in capsys.readouterr().err
+    # The artifact is still written so the regression can be inspected.
+    assert out.exists()
+
+
+def test_bench_placement_reports_speedup_fields():
+    entry = bench_placement("theta", nodes=32, num_aggregators=4)
+    assert set(entry) >= {"machine", "candidates", "scalar", "fast", "speedup"}
+    assert entry["candidates"] == 32  # node granularity: one candidate per node
+    assert entry["speedup"] > 0
+
+
+def test_render_suite_mentions_every_benchmark():
+    entry = {
+        "scalar": {"wall_s": 2.0, "candidates_per_s": 100.0, "points_per_s": 10.0},
+        "fast": {"wall_s": 1.0, "candidates_per_s": 200.0, "points_per_s": 20.0},
+        "speedup": 2.0,
+        "target": "fig08",
+    }
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "git_sha": "abc",
+        "results": {
+            "placement_theta": entry,
+            "placement_mira": entry,
+            "tune": entry,
+            "run_all": {
+                "wall_s": 1.5,
+                "experiments": 21,
+                "scale": 8.0,
+                "all_checks_pass": True,
+            },
+        },
+    }
+    text = render_suite(payload)
+    for needle in ("placement/theta", "placement/mira", "tune/fig08", "run-all"):
+        assert needle in text

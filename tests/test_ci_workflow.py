@@ -17,7 +17,7 @@ def workflow() -> dict:
 
 class TestWorkflowShape:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"lint", "tests", "smoke"}
+        assert set(workflow["jobs"]) == {"lint", "tests", "smoke", "bench"}
         # "on" parses as the YAML boolean True in YAML 1.1 readers.
         triggers = workflow.get("on", workflow.get(True))
         assert "push" in triggers and "pull_request" in triggers
@@ -103,6 +103,20 @@ class TestWorkflowShape:
             i for i, c in enumerate(commands) if "repro report --from" in c
         )
         assert tune_index < report_index
+
+    def test_bench_job_gates_on_a_throughput_floor(self, workflow):
+        steps = workflow["jobs"]["bench"]["steps"]
+        commands = [s.get("run", "") for s in steps]
+        bench = [c for c in commands if "repro bench" in c]
+        assert bench, "bench job must invoke repro bench"
+        assert "--min-placement-rate" in bench[0], (
+            "the benchmark job must fail when placement throughput drops "
+            "below the documented floor"
+        )
+        assert "BENCH_smoke.json" in bench[0]
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads, "bench job must upload the benchmark JSON"
+        assert "BENCH_smoke.json" in uploads[0]["with"]["path"]
 
     def test_smoke_job_runs_run_all_and_uploads_artifacts(self, workflow):
         steps = workflow["jobs"]["smoke"]["steps"]

@@ -1,0 +1,89 @@
+"""The shared persistent worker pool behind the experiment/tuning runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import (
+    _machine_spec_payloads,
+    evaluate_candidates,
+    run_experiments,
+    shutdown_pool,
+)
+from repro.scenario.registry import get_scenario
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Each test starts and ends without a live pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _payloads(count: int) -> list[dict]:
+    scenario = get_scenario("fig08", scale=16.0)
+    return [scenario.to_dict() for _ in range(count)]
+
+
+def test_pool_persists_across_candidate_batches():
+    evaluate_candidates(_payloads(3), "bandwidth", jobs=2)
+    first = runner._POOL
+    assert first is not None
+    evaluate_candidates(_payloads(3), "bandwidth", jobs=2)
+    assert runner._POOL is first
+
+
+def test_pool_is_rebuilt_when_worker_count_changes():
+    evaluate_candidates(_payloads(3), "bandwidth", jobs=2)
+    first = runner._POOL
+    evaluate_candidates(_payloads(3), "bandwidth", jobs=3)
+    assert runner._POOL is not first
+    assert runner._POOL_WORKERS == 3
+
+
+def test_experiments_and_candidates_share_one_pool():
+    report = run_experiments(["fig08", "fig10"], scale=16.0, jobs=2)
+    pool = runner._POOL
+    assert pool is not None
+    assert report.outcomes[0].result.experiment_id == "fig08"
+    evaluate_candidates(_payloads(2), "bandwidth", jobs=2)
+    assert runner._POOL is pool
+
+
+def test_batched_candidates_keep_input_order_and_isolate_failures():
+    scenario = get_scenario("fig08", scale=16.0)
+    good = scenario.to_dict()
+    bad = scenario.to_dict()
+    bad["workload"] = dict(bad["workload"], kind="no-such-workload")
+    payloads = [good, bad, good, good, bad, good, good]
+    results = evaluate_candidates(payloads, "bandwidth", jobs=2)
+    assert len(results) == len(payloads)
+    for index, (ok, value) in enumerate(results):
+        if index in (1, 4):
+            assert not ok and isinstance(value, str)
+        else:
+            assert ok and value > 0
+
+
+def test_sequential_path_never_creates_a_pool():
+    results = evaluate_candidates(_payloads(2), "bandwidth", jobs=1)
+    assert all(ok for ok, _ in results)
+    assert runner._POOL is None
+
+
+def test_machine_spec_payloads_dedupes():
+    scenario = get_scenario("fig08", scale=16.0).to_dict()
+    other = get_scenario("fig10", scale=16.0).to_dict()
+    specs = _machine_spec_payloads([scenario, scenario, other, scenario])
+    assert len(specs) == len(
+        {tuple(sorted((k, repr(v)) for k, v in spec.items())) for spec in specs}
+    )
+    assert 1 <= len(specs) <= 2
+
+
+def test_shutdown_pool_is_idempotent():
+    shutdown_pool()
+    shutdown_pool()
+    assert runner._POOL is None

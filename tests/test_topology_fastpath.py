@@ -1,0 +1,228 @@
+"""Fast-path correctness: cached/batched results equal the scalar path.
+
+The routing/cost fast path (per-instance route/distance caches, vectorised
+batch kernels, batched candidate evaluation) must be a pure
+evaluation-order/caching change.  These property-style tests compare it
+against the original scalar path — exercised through
+:func:`repro.utils.fastpath.fastpath_disabled` — over randomised node pairs
+on all three topologies, and check that cache state never leaks across
+machine instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cost_model import AggregationCostModel
+from repro.core.partitioning import build_partitions
+from repro.core.placement import place_aggregators
+from repro.core.topology_iface import TopologyInterface
+from repro.machine.mira import MiraMachine
+from repro.machine.theta import ThetaMachine
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.torus import TorusTopology
+from repro.utils.fastpath import fastpath_disabled, fastpath_enabled, set_fastpath
+from repro.workloads.hacc import HACCIOWorkload
+
+
+@pytest.fixture(autouse=True)
+def _force_fastpath():
+    """These tests compare the two paths, so the fast one must start on
+    even when the suite runs under ``REPRO_DISABLE_FASTPATH=1``."""
+    previous = fastpath_enabled()
+    set_fastpath(True)
+    yield
+    set_fastpath(previous)
+
+
+def _topologies():
+    return [
+        TorusTopology((4, 4, 4, 4, 2)),
+        TorusTopology((3, 5, 2)),
+        DragonflyTopology(groups=3, routers_per_group=7, nodes_per_router=4),
+        DragonflyTopology.theta_partition(200),
+        FatTreeTopology(6, 3, 5),
+    ]
+
+
+@pytest.mark.parametrize("topology", _topologies(), ids=lambda t: t.name)
+def test_cached_distance_and_route_equal_scalar_path(topology):
+    rng = random.Random(2017)
+    n = topology.num_nodes
+    for _ in range(300):
+        a, b = rng.randrange(n), rng.randrange(n)
+        with fastpath_disabled():
+            scalar_distance = topology.distance(a, b)
+            scalar_route = topology.route(a, b)
+            scalar_bandwidth = topology.path_bandwidth(a, b)
+        assert topology.distance(a, b) == scalar_distance
+        # Twice: the second call is a guaranteed cache hit.
+        assert topology.distance(a, b) == scalar_distance
+        cached_route = topology.route(a, b)
+        assert cached_route == scalar_route
+        assert topology.route(a, b) is cached_route
+        assert topology.path_bandwidth(a, b) == scalar_bandwidth
+
+
+@pytest.mark.parametrize("topology", _topologies(), ids=lambda t: t.name)
+def test_batch_queries_equal_scalar_loops(topology):
+    rng = random.Random(7)
+    n = topology.num_nodes
+    nodes = [rng.randrange(n) for _ in range(min(n, 128))]
+    for _ in range(5):
+        src = rng.randrange(n)
+        distances = topology.distances_from(src, nodes)
+        bandwidths = topology.path_bandwidths_from(src, nodes)
+        routes = topology.routes_from(src, nodes)
+        with fastpath_disabled():
+            assert [int(d) for d in distances] == [
+                topology.distance(src, m) for m in nodes
+            ]
+            assert [float(b) for b in bandwidths] == [
+                topology.path_bandwidth(src, m) for m in nodes
+            ]
+            assert routes == [topology.route(src, m) for m in nodes]
+
+
+@pytest.mark.parametrize("topology", _topologies(), ids=lambda t: t.name)
+def test_batch_queries_reject_invalid_nodes(topology):
+    with pytest.raises(ValueError):
+        topology.distances_from(0, [0, topology.num_nodes])
+    with pytest.raises(ValueError):
+        topology.distances_from(topology.num_nodes, [0])
+    with pytest.raises(ValueError):
+        topology.path_bandwidths_from(0, [-1])
+
+
+def test_cache_state_never_leaks_across_instances():
+    """Two same-shape machines with different link speeds stay independent."""
+    fast = TorusTopology((4, 4, 2), link_bandwidth=2.0e9)
+    slow = TorusTopology((4, 4, 2), link_bandwidth=1.0e9)
+    # Warm the fast instance's caches first.
+    for dst in range(1, fast.num_nodes):
+        fast.distance(0, dst)
+        fast.route(0, dst)
+    for dst in range(1, slow.num_nodes):
+        assert slow.route(0, dst).min_bandwidth == 1.0e9
+        assert fast.route(0, dst).min_bandwidth == 2.0e9
+        assert slow.route(0, dst) is not fast.route(0, dst)
+    assert float(slow.path_bandwidths_from(0, [1])[0]) == 1.0e9
+    # Different geometry under the same class: distances must differ too.
+    ring = TorusTopology((8,))
+    assert ring.distance(0, 5) == 3
+    assert TorusTopology((16,)).distance(0, 5) == 5
+
+
+def test_interned_links_are_shared_within_one_instance():
+    topology = DragonflyTopology(groups=2, routers_per_group=4, nodes_per_router=2)
+    first = topology.route(0, 9)
+    # The injection link out of node 0 is one object across routes.
+    other = topology.route(0, 5)
+    assert first.links[0] is other.links[0]
+
+
+@pytest.mark.parametrize("machine_cls", [ThetaMachine, MiraMachine])
+def test_best_candidate_batched_equals_scalar(machine_cls):
+    """Winner and every breakdown are bit-identical across both paths."""
+    from repro.topology.mapping import random_mapping
+
+    machine = machine_cls(64)
+    rng = random.Random(11)
+    num_ranks = 64 * 4
+    mapping = random_mapping(num_ranks, machine.num_nodes, 4, seed=5)
+    iface = TopologyInterface(machine, mapping)
+    model = AggregationCostModel(iface)
+    for trial in range(5):
+        ranks = rng.sample(range(num_ranks), 40)
+        volumes = {rank: rng.randrange(1, 1 << 24) for rank in ranks}
+        candidates = list(volumes)
+        assert fastpath_enabled()
+        fast_winner, fast_breakdowns = model.best_candidate(candidates, volumes)
+        with fastpath_disabled():
+            scalar_winner, scalar_breakdowns = model.best_candidate(
+                candidates, volumes
+            )
+        assert fast_winner == scalar_winner
+        assert fast_breakdowns == scalar_breakdowns
+
+
+def test_best_candidate_batched_handles_candidates_outside_volumes():
+    machine = ThetaMachine(16)
+    from repro.topology.mapping import block_mapping
+
+    mapping = block_mapping(64, 16, 4)
+    iface = TopologyInterface(machine, mapping)
+    model = AggregationCostModel(iface)
+    volumes = {rank: 1024 * (rank + 1) for rank in range(8)}
+    candidates = [0, 4, 40, 63]  # two candidates hold no data
+    fast = model.best_candidate(candidates, volumes)
+    with fastpath_disabled():
+        scalar = model.best_candidate(candidates, volumes)
+    assert fast == scalar
+
+
+def test_best_candidate_empty_volumes_matches_scalar_path():
+    machine = ThetaMachine(8)
+    from repro.topology.mapping import block_mapping
+
+    mapping = block_mapping(16, 8, 2)
+    iface = TopologyInterface(machine, mapping)
+    model = AggregationCostModel(iface)
+    fast = model.best_candidate([1, 2], {})
+    with fastpath_disabled():
+        assert model.best_candidate([1, 2], {}) == fast
+    assert fast[0] == 1
+    assert all(b.total == 0.0 for b in fast[1])
+
+
+def test_nodes_of_ranks_rejects_invalid_ranks_on_both_paths():
+    from repro.perfmodel.common import build_context
+
+    machine = ThetaMachine(8)
+    workload = HACCIOWorkload(128, 1_000, layout="aos")
+    context = build_context(machine, workload, ranks_per_node=16)
+    valid = list(range(40))
+    assert context.nodes_of_ranks(valid) == sorted({r // 16 for r in valid})
+    for bad in ([-1] + valid, valid + [context.num_ranks]):
+        with pytest.raises(ValueError):
+            context.nodes_of_ranks(bad)
+        with fastpath_disabled(), pytest.raises(ValueError):
+            context.nodes_of_ranks(bad)
+
+
+def test_best_candidate_negative_volume_raises_on_both_paths():
+    machine = ThetaMachine(8)
+    from repro.topology.mapping import block_mapping
+
+    mapping = block_mapping(16, 8, 2)
+    iface = TopologyInterface(machine, mapping)
+    model = AggregationCostModel(iface)
+    volumes = {0: 100, 1: -5, 2: 100}
+    with pytest.raises(ValueError, match="volume of rank 1"):
+        model.best_candidate([0, 2], volumes)
+    with fastpath_disabled(), pytest.raises(ValueError, match="volume of rank 1"):
+        model.best_candidate([0, 2], volumes)
+
+
+@pytest.mark.parametrize("machine_cls", [ThetaMachine, MiraMachine])
+@pytest.mark.parametrize("granularity", ["rank", "node"])
+def test_place_aggregators_identical_on_both_paths(machine_cls, granularity):
+    machine = machine_cls(64)
+    workload = HACCIOWorkload(64 * 4, 10_000, layout="aos")
+    from repro.topology.mapping import block_mapping
+
+    mapping = block_mapping(workload.num_ranks, machine.num_nodes, 4)
+    iface = TopologyInterface(machine, mapping)
+    partitions = build_partitions(workload, 6, machine=machine, mapping=mapping)
+    fast = place_aggregators(
+        partitions, iface, strategy="topology-aware", granularity=granularity
+    )
+    with fastpath_disabled():
+        scalar = place_aggregators(
+            partitions, iface, strategy="topology-aware", granularity=granularity
+        )
+    assert fast.aggregators == scalar.aggregators
+    assert fast.breakdowns == scalar.breakdowns
