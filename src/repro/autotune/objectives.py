@@ -37,8 +37,13 @@ class Objective:
     fn: Callable[[Simulation], float]
     multijob: bool
 
-    def evaluate(self, scenario: Scenario) -> float:
-        """The objective value of one scenario (via the simulation facade)."""
+    def compute(self, scenario: Scenario) -> float:
+        """The objective value of one scenario (via the simulation facade).
+
+        This is the internal workhorse :func:`repro.core.api.evaluate`
+        dispatches to in objective mode; it validates the scenario kind and
+        runs the simulation directly.
+        """
         if self.multijob != (scenario.multijob is not None):
             kind = "a multi-job" if self.multijob else "a single-job"
             raise ScenarioError(
@@ -46,6 +51,18 @@ class Objective:
                 f"{scenario.id!r} is {'multi' if scenario.multijob else 'single'}-job"
             )
         return float(self.fn(Simulation(scenario)))
+
+    def evaluate(self, scenario: Scenario) -> float:
+        """The objective value of one scenario.
+
+        Routed through the unified :func:`repro.core.api.evaluate` entry
+        point — the same call path the CLI and the evaluation daemon use —
+        so a tuning candidate costs exactly what the equivalent
+        ``repro scenario run`` would.
+        """
+        from repro.core.api import evaluate
+
+        return evaluate(scenario, objective=self).value
 
     def better(self, candidate: float, incumbent: float | None) -> bool:
         """Whether ``candidate`` improves on ``incumbent`` (None = no incumbent)."""

@@ -16,7 +16,6 @@ re-parameterised tune skips every point already paid for.
 from __future__ import annotations
 
 import hashlib
-import json
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping
@@ -39,15 +38,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def point_digest(scenario: Scenario, objective: str) -> str:
     """Content-address of one candidate evaluation.
 
-    A SHA-256 digest of the canonical ``(scenario, objective)`` pair: two
-    evaluations with the same digest are by construction the same scenario
-    judged by the same objective, whatever sweep/tune/strategy produced
-    them, and may share a cached value.
+    A SHA-256 digest of the ``(scenario, objective)`` pair: two evaluations
+    with the same digest are by construction the same scenario judged by
+    the same objective, whatever sweep/tune/strategy produced them, and may
+    share a cached value.  The scenario half is
+    :meth:`~repro.scenario.spec.Scenario.content_hash` — the same address
+    the evaluation daemon and the store's scenario-result cache use — so
+    there is exactly one canonical hash per scenario description.
     """
-    canonical = json.dumps(
-        {"scenario": scenario.to_dict(), "objective": objective}, sort_keys=True
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    payload = f"{scenario.content_hash()}:{objective}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def rescale_scenario(scenario: Scenario, divisor: float) -> Scenario:

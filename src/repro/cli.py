@@ -16,8 +16,18 @@ Usage (after ``pip install -e .``)::
     python -m repro scenario run fig10 --scale 8   # ...or a registered name
     python -m repro tune fig08 --strategy random --budget 32 --out artifacts/
                                                # search the scenario's tuning space
+    python -m repro serve --port 8731 --out artifacts/ --jobs 4
+                                               # evaluation daemon (HTTP + job queue)
+    python -m repro submit fig08 --scale 16    # evaluate through a running daemon
     python -m repro estimate --machine theta --nodes 1024 \
         --particles 25000 --layout soa         # one-off TAPIOCA vs MPI I/O estimate
+
+Every ``--out`` accepts a store spec, not just a directory: ``DIR`` or
+``dir:DIR`` (the historical flat layout), ``sharded:DIR`` (fan-out over
+hashed shard directories with per-key file locks, for concurrent writers),
+``sqlite:FILE.db`` (a single SQLite file).  ``run``, ``run-all``, ``tune``,
+``scenario run``, ``serve`` and ``submit`` all share the same cache through
+whichever backend the spec names.
 
 The CLI only wraps functionality available from the library
 (:mod:`repro.experiments`, :mod:`repro.scenario`, :mod:`repro.perfmodel`);
@@ -39,23 +49,22 @@ from repro.autotune.objectives import OBJECTIVES
 from repro.autotune.space import AutotuneError
 from repro.autotune.strategies import strategy_names
 from repro.autotune.tuner import TuneTarget, Tuner, rescale_scenario
+from repro.core.api import evaluate
 from repro.core.config import TapiocaConfig
 from repro.experiments.harness import (
     describe_experiments,
     list_experiments,
-    run_experiment,
     unknown_experiment_message,
 )
 from repro.experiments.report import generate_report, generate_report_from_store
 from repro.experiments.runner import RunOutcome, run_experiments
-from repro.experiments.store import ArtifactStore, git_sha, result_to_dict
+from repro.experiments.store import ArtifactStore, git_sha
 from repro.iolib.hints import MPIIOHints
 from repro.machine.mira import MiraMachine
 from repro.machine.theta import ThetaMachine
 from repro.perfmodel.mpiio import model_mpiio
 from repro.perfmodel.tapioca import model_tapioca
 from repro.scenario.registry import describe_scenarios, get_scenario
-from repro.scenario.simulation import Simulation
 from repro.scenario.spec import Scenario, ScenarioError, parse_overrides
 from repro.storage.gpfs import GPFSModel
 from repro.storage.lustre import LustreStripeConfig
@@ -92,6 +101,63 @@ def _positive_int(text: str) -> int:
     return value
 
 
+# --------------------------------------------------------------------------- #
+# Shared options: --scale, --jobs, --out, --set mean the same thing on every
+# subcommand that has them (run, run-all, scenario run, tune, bench, serve).
+# --------------------------------------------------------------------------- #
+
+
+def add_scale_option(parser: argparse.ArgumentParser, help: str | None = None) -> None:
+    parser.add_argument(
+        "--scale",
+        type=_positive_scale,
+        default=1.0,
+        help=help or "node-count divisor (> 0)",
+    )
+
+
+def add_jobs_option(parser: argparse.ArgumentParser, help: str | None = None) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help=help or "worker processes (1 = in-process)",
+    )
+
+
+def add_out_option(parser: argparse.ArgumentParser, help: str | None = None) -> None:
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="SPEC",
+        help=help
+        or "artifact store: a directory, dir:DIR, sharded:DIR, or sqlite:FILE.db",
+    )
+
+
+def add_set_option(parser: argparse.ArgumentParser, help: str | None = None) -> None:
+    parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help=help
+        or "override a scenario field by dotted path "
+        "(e.g. --set io.buffer_size=8388608); may be repeated",
+    )
+
+
+def _open_store(
+    parser: argparse.ArgumentParser, spec: str | None
+) -> ArtifactStore | None:
+    """An :class:`ArtifactStore` for an ``--out`` spec (``None`` passes through)."""
+    if spec is None:
+        return None
+    try:
+        return ArtifactStore.from_spec(spec)
+    except (ValueError, OSError) as error:
+        parser.error(f"--out: {error}")
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     descriptions = describe_experiments()
     if args.json:
@@ -113,11 +179,21 @@ def _parse_set_args(parser: argparse.ArgumentParser, pairs: list[str] | None) ->
 
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides = _parse_set_args(args.parser, args.set)
+    store = _open_store(args.parser, args.out)
     try:
-        result = run_experiment(args.experiment, scale=args.scale, overrides=overrides)
+        evaluation = evaluate(
+            args.experiment,
+            scale=args.scale,
+            jobs=args.jobs,
+            store=store,
+            overrides=overrides,
+        )
     except ScenarioError as error:
         args.parser.error(str(error))
+    result = evaluation.result
     print(result.render())
+    if evaluation.cached:
+        print("(served from the artifact cache; pass --out elsewhere to re-run)")
     return 0 if result.all_checks_pass() else 1
 
 
@@ -143,7 +219,7 @@ def _warn_stale_artifacts(store: ArtifactStore) -> None:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     overrides = _parse_set_args(args.parser, args.set)
-    store = ArtifactStore(args.out) if args.out else None
+    store = _open_store(args.parser, args.out)
     if store is not None and not args.no_cache:
         _warn_stale_artifacts(store)
 
@@ -250,25 +326,37 @@ def _registry_scenario(
         )
 
 
+def _resolve_scenario_source(
+    parser: argparse.ArgumentParser, source: str, scale: float
+) -> Scenario:
+    """A concrete scenario from a CLI source: a JSON file or a registry name."""
+    if _is_scenario_file(source):
+        if scale != 1.0:
+            parser.error(
+                "--scale applies only to registered scenario names; a "
+                "JSON file already fixes its node counts"
+            )
+        return _read_scenario_file(parser, source)
+    return _registry_scenario(parser, source, scale)
+
+
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
     overrides = _parse_set_args(args.parser, args.set)
+    store = _open_store(args.parser, args.out)
+    scenario = _resolve_scenario_source(args.parser, args.source, args.scale)
     try:
-        if _is_scenario_file(args.source):
-            if args.scale != 1.0:
-                args.parser.error(
-                    "--scale applies only to registered scenario names; a "
-                    "JSON file already fixes its node counts"
-                )
-            scenario = _read_scenario_file(args.parser, args.source)
-        else:
-            scenario = _registry_scenario(args.parser, args.source, args.scale)
-        result = Simulation(scenario.with_overrides(overrides)).run()
+        evaluation = evaluate(
+            scenario, jobs=args.jobs, store=store, overrides=overrides
+        )
     except ScenarioError as error:
         args.parser.error(str(error))
+    result = evaluation.result
     if args.json:
-        print(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(result.render())
+        if evaluation.cached:
+            print("(served from the scenario cache; delete the store to re-run)")
     return 0 if result.all_checks_pass() else 1
 
 
@@ -292,7 +380,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 get_scenario(args.target, scale=divisor).with_overrides(overrides)
             )
 
-    store = ArtifactStore(args.out) if args.out else None
+    store = _open_store(args.parser, args.out)
     try:
         base = builder(args.scale)
         space = suggest_space(base)
@@ -325,26 +413,39 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the tracked benchmark suite and write a ``BENCH_*.json`` artifact."""
-    from repro.experiments.bench import render_suite, run_suite
+    from repro.experiments.bench import render_suite, run_serve_suite, run_suite
 
-    payload = run_suite(
-        nodes=args.nodes,
-        num_aggregators=args.aggregators,
-        tune_target=args.tune_target,
-        tune_budget=args.tune_budget,
-        tune_scale=args.tune_scale,
-        run_all_scale=args.run_all_scale,
-        on_progress=lambda message: print(f"bench: {message}", file=sys.stderr),
-    )
-    with open(args.out, "w", encoding="utf-8") as handle:
+    progress = lambda message: print(f"bench: {message}", file=sys.stderr)  # noqa: E731
+    if args.serve:
+        payload = run_serve_suite(
+            requests=args.serve_requests,
+            clients=args.serve_clients,
+            scale=args.serve_scale,
+            jobs=args.jobs,
+            on_progress=progress,
+        )
+        out = args.out or "BENCH_6.json"
+    else:
+        payload = run_suite(
+            nodes=args.nodes,
+            num_aggregators=args.aggregators,
+            tune_target=args.tune_target,
+            tune_budget=args.tune_budget,
+            tune_scale=args.tune_scale,
+            run_all_scale=args.run_all_scale,
+            on_progress=progress,
+        )
+        out = args.out or "BENCH_5.json"
+    with open(out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(render_suite(payload))
-    print(f"wrote {args.out}")
-    if not payload["results"]["run_all"]["all_checks_pass"]:
+    print(f"wrote {out}")
+    run_all = payload["results"].get("run_all")
+    if run_all is not None and not run_all["all_checks_pass"]:
         print("error: run-all failed qualitative checks", file=sys.stderr)
         return 1
-    if args.min_placement_rate is not None:
+    if args.min_placement_rate is not None and not args.serve:
         worst = min(
             payload["results"][f"placement_{kind}"]["fast"]["candidates_per_s"]
             for kind in ("theta", "mira")
@@ -357,6 +458,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 1
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# Serving
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the evaluation daemon until interrupted."""
+    import asyncio
+
+    from repro.serve import EvaluationService, HttpFrontend, JobQueueFrontend
+
+    store = _open_store(args.parser, args.out)
+
+    async def main() -> None:
+        service = EvaluationService(
+            store, jobs=args.jobs, batch_window_s=args.batch_window
+        )
+        frontend = HttpFrontend(service, host=args.host, port=args.port)
+        await frontend.start()
+        queue = None
+        if args.queue:
+            queue = JobQueueFrontend(service, args.queue)
+            await queue.start()
+        where = f"http://{frontend.host}:{frontend.port}"
+        if args.queue:
+            where += f" and job queue {args.queue}"
+        backing = store.backend.describe() if store else "no store (dedup only)"
+        print(f"serving on {where} [{backing}, jobs={args.jobs}]", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await frontend.stop()
+            if queue is not None:
+                await queue.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one scenario to a running daemon and print its result."""
+    from repro.experiments.results import ExperimentResult
+    from repro.serve import ServeClient, collect_job, submit_job
+    from repro.serve.client import ServeError
+
+    overrides = _parse_set_args(args.parser, args.set)
+    scenario = _resolve_scenario_source(args.parser, args.source, args.scale)
+    try:
+        payload = scenario.with_overrides(overrides).to_dict()
+    except ScenarioError as error:
+        args.parser.error(str(error))
+    try:
+        if args.queue:
+            job_id = submit_job(args.queue, payload)
+            envelope = collect_job(args.queue, job_id, timeout_s=args.timeout)
+        else:
+            envelope = ServeClient(args.url, timeout_s=args.timeout).evaluate(payload)
+    except (ServeError, TimeoutError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if envelope.get("status") != "ok":
+        print(f"error: {envelope.get('error', 'unknown failure')}", file=sys.stderr)
+        return 1
+    result = ExperimentResult.from_dict(envelope["result"])
+    if args.json:
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        source = "cache" if envelope.get("cached") else "fresh evaluation"
+        print(f"({source}, hash {envelope.get('scenario_hash', '?')[:12]})")
+    return 0 if result.all_checks_pass() else 1
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -431,35 +608,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiment", type=_experiment_id, metavar="EXPERIMENT"
     )
-    run_parser.add_argument(
-        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
+    add_scale_option(run_parser)
+    add_jobs_option(run_parser)
+    add_out_option(
+        run_parser, help="artifact store to read/write the cached result"
     )
-    run_parser.add_argument(
-        "--set",
-        action="append",
-        metavar="KEY=VALUE",
-        help="override a scenario field by dotted path "
-        "(e.g. --set io.buffer_size=8388608); may be repeated",
-    )
+    add_set_option(run_parser)
     run_parser.set_defaults(func=_cmd_run, parser=run_parser)
 
     run_all_parser = subparsers.add_parser(
         "run-all", help="reproduce every figure/table, optionally in parallel"
     )
-    run_all_parser.add_argument(
-        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
-    )
-    run_all_parser.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes (1 = in-process)",
-    )
-    run_all_parser.add_argument(
-        "--out",
-        default=None,
-        metavar="DIR",
-        help="artifact directory for per-experiment JSON + manifest.json",
+    add_scale_option(run_all_parser)
+    add_jobs_option(run_all_parser)
+    add_out_option(
+        run_all_parser,
+        help="artifact store for per-experiment JSON + manifest "
+        "(a directory, dir:DIR, sharded:DIR, or sqlite:FILE.db)",
     )
     run_all_parser.add_argument(
         "--no-cache",
@@ -479,10 +644,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EXPERIMENT",
         help="run only the given experiment id(s); may be repeated",
     )
-    run_all_parser.add_argument(
-        "--set",
-        action="append",
-        metavar="KEY=VALUE",
+    add_set_option(
+        run_all_parser,
         help="scenario override applied to every experiment; may be repeated",
     )
     run_all_parser.set_defaults(func=_cmd_run_all, parser=run_all_parser)
@@ -519,9 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="print a named scenario as JSON (pipe to a file, edit, run)"
     )
     scenario_show.add_argument("name", metavar="NAME")
-    scenario_show.add_argument(
-        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
-    )
+    add_scale_option(scenario_show)
     scenario_show.set_defaults(func=_cmd_scenario_show, parser=scenario_show)
 
     scenario_run = scenario_sub.add_parser(
@@ -533,18 +694,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="a scenario JSON file, or a registered scenario name "
         "(see `repro scenario list`)",
     )
-    scenario_run.add_argument(
-        "--scale",
-        type=_positive_scale,
-        default=1.0,
-        help="node-count divisor for registered scenario names (> 0)",
+    add_scale_option(
+        scenario_run, help="node-count divisor for registered scenario names (> 0)"
     )
-    scenario_run.add_argument(
-        "--set",
-        action="append",
-        metavar="KEY=VALUE",
-        help="override a scenario field by dotted path; may be repeated",
+    add_jobs_option(scenario_run)
+    add_out_option(
+        scenario_run,
+        help="artifact store for the content-hash scenario cache "
+        "(shared with `repro serve`)",
     )
+    add_set_option(scenario_run)
     scenario_run.add_argument(
         "--json",
         action="store_true",
@@ -580,32 +739,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="optimisation target (default: slowdown for multi-job "
         "scenarios, bandwidth otherwise)",
     )
-    tune_parser.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for candidate evaluation (1 = in-process)",
+    add_jobs_option(
+        tune_parser, help="worker processes for candidate evaluation (1 = in-process)"
     )
-    tune_parser.add_argument(
-        "--scale", type=_positive_scale, default=1.0, help="node-count divisor (> 0)"
-    )
+    add_scale_option(tune_parser)
     tune_parser.add_argument(
         "--seed",
         type=int,
         default=None,
         help="root seed of the stochastic strategies (default: the library seed)",
     )
-    tune_parser.add_argument(
-        "--out",
-        default=None,
-        metavar="DIR",
-        help="artifact directory for the tuning trace and the per-point "
+    add_out_option(
+        tune_parser,
+        help="artifact store for the tuning trace and the per-point "
         "cache (resumed tunes skip evaluated points)",
     )
-    tune_parser.add_argument(
-        "--set",
-        action="append",
-        metavar="KEY=VALUE",
+    add_set_option(
+        tune_parser,
         help="pin a scenario field by dotted path before tuning; "
         "searched fields cannot be pinned; may be repeated",
     )
@@ -617,9 +767,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--out",
-        default="BENCH_5.json",
+        default=None,
         metavar="PATH",
-        help="output JSON path (default: BENCH_5.json at the repo root)",
+        help="output JSON path (default: BENCH_5.json, or BENCH_6.json "
+        "with --serve)",
+    )
+    add_jobs_option(
+        bench_parser,
+        help="worker processes of the benched daemon (--serve only)",
+    )
+    bench_parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="bench the evaluation daemon instead: start one locally and "
+        "measure cold/warm requests per second",
+    )
+    bench_parser.add_argument(
+        "--serve-requests",
+        type=_positive_int,
+        default=24,
+        help="distinct scenarios of the serve load generator (default: 24)",
+    )
+    bench_parser.add_argument(
+        "--serve-clients",
+        type=_positive_int,
+        default=8,
+        help="concurrent client threads of the serve load generator (default: 8)",
+    )
+    bench_parser.add_argument(
+        "--serve-scale",
+        type=_positive_scale,
+        default=16.0,
+        help="node-count divisor of the served scenarios (default: 16)",
     )
     bench_parser.add_argument(
         "--nodes",
@@ -667,6 +846,81 @@ def build_parser() -> argparse.ArgumentParser:
         "RATE candidates/s on either machine (the CI regression floor)",
     )
     bench_parser.set_defaults(func=_cmd_bench, parser=bench_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="evaluation daemon: HTTP + file job queue over one shared cache",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="bind port; 0 picks a free one (default: 8731)",
+    )
+    add_jobs_option(
+        serve_parser, help="worker processes for scenario batches (1 = in-process)"
+    )
+    add_out_option(
+        serve_parser,
+        help="artifact store backing the scenario cache; prefer sharded:DIR "
+        "or sqlite:FILE.db when other writers share it",
+    )
+    serve_parser.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="also serve a file job queue rooted at DIR (inbox/ -> done/)",
+    )
+    serve_parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="how long to collect requests before dispatching a batch "
+        "(default: 0.01)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve, parser=serve_parser)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="evaluate one scenario through a running daemon"
+    )
+    submit_parser.add_argument(
+        "source",
+        metavar="SCENARIO",
+        help="a scenario JSON file, or a registered scenario name "
+        "(see `repro scenario list`)",
+    )
+    submit_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8731",
+        help="daemon endpoint (default: http://127.0.0.1:8731)",
+    )
+    submit_parser.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="submit through the file job queue at DIR instead of HTTP",
+    )
+    add_scale_option(
+        submit_parser, help="node-count divisor for registered scenario names (> 0)"
+    )
+    add_set_option(submit_parser)
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long to wait for the evaluation (default: 600)",
+    )
+    submit_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full response envelope as JSON",
+    )
+    submit_parser.set_defaults(func=_cmd_submit, parser=submit_parser)
 
     estimate_parser = subparsers.add_parser(
         "estimate", help="one-off TAPIOCA vs MPI I/O estimate (HACC-IO style workload)"

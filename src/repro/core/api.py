@@ -1,5 +1,15 @@
 """High-level TAPIOCA facade.
 
+Two user-facing entry points live here:
+
+* :func:`evaluate` — the **one** evaluation API: it accepts a registered
+  experiment id, a registered scenario name, a scenario JSON payload, or a
+  :class:`~repro.scenario.spec.Scenario` instance, and returns a uniform
+  :class:`Evaluation`.  The CLI's ``run``/``scenario run``, the autotuner's
+  objectives, and the evaluation daemon (``repro serve``) all call it, so
+  caching, hashing, and override semantics are identical everywhere.
+* :class:`Tapioca` — the paper-shaped declare-then-write library facade.
+
 The paper's user-facing API (Algorithm 2) is::
 
     TAPIOCA_Init(count[], type[], offset[], nVar);
@@ -25,8 +35,9 @@ partition elected and why.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.aggregation import AggregationSchedule, build_schedule
 from repro.core.config import TapiocaConfig
@@ -38,6 +49,236 @@ from repro.storage.lustre import LustreStripeConfig
 from repro.topology.mapping import RankMapping, block_mapping
 from repro.utils.validation import require, require_positive
 from repro.workloads.base import Segment, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autotune.objectives import Objective
+    from repro.experiments.results import ExperimentResult
+    from repro.experiments.store import ArtifactStore
+    from repro.scenario.spec import Scenario
+
+
+# --------------------------------------------------------------------------- #
+# The unified evaluation entry point
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Evaluation:
+    """The uniform outcome of one :func:`evaluate` call.
+
+    Attributes:
+        result: the experiment result (``None`` only in objective mode).
+        value: the objective value when an ``objective`` was requested.
+        cached: whether the outcome was served from the store without
+            re-simulating.
+        source: ``"experiment"`` for registry ids, ``"scenario"`` otherwise.
+        key: content address — the artifact cache key for experiments, the
+            scenario hash for scenarios (``None`` in objective mode).
+        wall_time_s: simulation wall time (the original run's for cache hits).
+        scenario: the concrete scenario evaluated (``None`` for experiments,
+            whose sweeps expand many scenarios internally).
+    """
+
+    result: "ExperimentResult | None"
+    value: float | None = None
+    cached: bool = False
+    source: str = "scenario"
+    key: str | None = None
+    wall_time_s: float = 0.0
+    scenario: "Scenario | None" = None
+
+
+def evaluate(
+    scenario: "Scenario | Mapping | str",
+    *,
+    scale: float | None = None,
+    jobs: int | None = None,
+    store: "ArtifactStore | None" = None,
+    overrides: Mapping[str, Any] | None = None,
+    objective: "Objective | str | None" = None,
+    use_cache: bool = True,
+) -> Evaluation:
+    """Evaluate one experiment or scenario — the single public entry point.
+
+    Accepts, in one argument, everything the toolkit can evaluate:
+
+    * a registered **experiment id** (``"fig08"``) — runs the experiment's
+      sweep, with ``(id, scale, overrides)`` artifact caching when a store
+      is given;
+    * a registered **scenario name** — resolved at the requested scale;
+    * a **scenario payload** (``Scenario.to_dict`` output / parsed JSON);
+    * a :class:`~repro.scenario.spec.Scenario` instance.
+
+    Scenario evaluations are cached by the scenario's
+    :meth:`~repro.scenario.spec.Scenario.content_hash`: submitting the same
+    description again — from this process, another process, or through the
+    evaluation daemon — is a warm hit served without re-simulating.
+
+    Args:
+        scenario: what to evaluate (see above).
+        scale: node-count divisor; applies to experiment ids and registered
+            scenario names (a concrete scenario is rescaled via
+            :func:`repro.autotune.tuner.rescale_scenario`).  ``None`` = 1.0.
+        jobs: worker processes for the fan-out stages (``None``/1 =
+            in-process).
+        store: artifact store serving and receiving cached results
+            (``None`` disables persistence).
+        overrides: dotted-path scenario overrides (the CLI's ``--set``).
+        objective: evaluate a tuning objective (name or
+            :class:`~repro.autotune.objectives.Objective`) instead of
+            producing a result table; only valid for scenarios.
+        use_cache: when a store is given, serve cache hits from it.
+
+    Raises:
+        KeyError: unknown experiment/scenario name (with a did-you-mean hint).
+        ScenarioError: invalid scenario description or overrides.
+    """
+    from repro.scenario.registry import get_scenario, scenario_ids
+    from repro.scenario.spec import Scenario
+
+    divisor = 1.0 if scale is None else float(scale)
+    jobs = 1 if jobs is None else max(1, int(jobs))
+
+    if isinstance(scenario, str):
+        from repro.experiments.harness import EXPERIMENTS
+
+        if scenario in EXPERIMENTS:
+            if objective is not None:
+                raise ValueError(
+                    f"objectives apply to scenarios, not experiment sweeps "
+                    f"(got experiment id {scenario!r})"
+                )
+            return _evaluate_experiment(
+                scenario,
+                scale=divisor,
+                jobs=jobs,
+                store=store,
+                overrides=overrides,
+                use_cache=use_cache,
+            )
+        if scenario in scenario_ids():
+            scenario = get_scenario(scenario, scale=divisor)
+            divisor = 1.0  # the registry builder already applied the scale
+        else:
+            # Unknown either way: raise the experiment registry's KeyError,
+            # whose message lists both hints via the CLI's error paths.
+            from repro.experiments.harness import unknown_experiment_message
+
+            raise KeyError(unknown_experiment_message(scenario))
+    elif isinstance(scenario, Mapping):
+        scenario = Scenario.from_dict(scenario)
+
+    concrete: Scenario = scenario.with_overrides(overrides)
+    if divisor != 1.0:
+        from repro.autotune.tuner import rescale_scenario
+
+        concrete = rescale_scenario(concrete, divisor)
+
+    if objective is not None:
+        from repro.autotune.objectives import get_objective
+
+        if isinstance(objective, str):
+            objective = get_objective(objective)
+        return Evaluation(
+            result=None,
+            value=objective.compute(concrete),
+            source="scenario",
+            scenario=concrete,
+        )
+    return _evaluate_scenario(
+        concrete, jobs=jobs, store=store, use_cache=use_cache
+    )
+
+
+def _evaluate_experiment(
+    experiment_id: str,
+    *,
+    scale: float,
+    jobs: int,
+    store: "ArtifactStore | None",
+    overrides: Mapping[str, Any] | None,
+    use_cache: bool,
+) -> Evaluation:
+    """Run one registered experiment through the parallel runner."""
+    from repro.experiments.runner import run_experiments
+    from repro.experiments.store import cache_key
+
+    report = run_experiments(
+        [experiment_id],
+        scale=scale,
+        jobs=jobs,
+        store=store,
+        use_cache=use_cache,
+        overrides=overrides,
+    )
+    outcome = report.outcomes[0]
+    return Evaluation(
+        result=outcome.result,
+        cached=outcome.cached,
+        source="experiment",
+        key=cache_key(experiment_id, scale, overrides),
+        wall_time_s=outcome.wall_time_s,
+    )
+
+
+def _evaluate_scenario(
+    scenario: "Scenario",
+    *,
+    jobs: int,
+    store: "ArtifactStore | None",
+    use_cache: bool,
+) -> Evaluation:
+    """Run one concrete scenario, hash-cached against the store."""
+    from repro.experiments.results import ExperimentResult
+    from repro.scenario.simulation import Simulation
+
+    scenario_hash = scenario.content_hash()
+    if store is not None and use_cache:
+        envelope = store.load_scenario_result(scenario_hash)
+        if envelope is not None and "result" in envelope:
+            return Evaluation(
+                result=ExperimentResult.from_dict(envelope["result"]),
+                cached=True,
+                source="scenario",
+                key=scenario_hash,
+                wall_time_s=envelope.get("wall_time_s", 0.0),
+                scenario=scenario,
+            )
+
+    start = time.perf_counter()
+    if jobs > 1:
+        # Route through the shared persistent pool: a follow-up evaluation
+        # (or a daemon batch) lands on warm workers.
+        from repro.experiments.runner import submit_scenario_batch
+
+        response = submit_scenario_batch([scenario.to_dict()], jobs=jobs).result()[0]
+        if response["status"] != "ok":
+            from repro.scenario.spec import ScenarioError
+
+            raise ScenarioError(response["error"])
+        result = ExperimentResult.from_dict(response["result"])
+    else:
+        result = Simulation(scenario).run()
+    wall_time_s = time.perf_counter() - start
+
+    if store is not None:
+        store.save_scenario_result(
+            scenario_hash,
+            {
+                "scenario_id": scenario.id,
+                "scenario": scenario.to_dict(),
+                "wall_time_s": wall_time_s,
+                "result": result.to_dict(),
+            },
+        )
+    return Evaluation(
+        result=result,
+        cached=False,
+        source="scenario",
+        key=scenario_hash,
+        wall_time_s=wall_time_s,
+        scenario=scenario,
+    )
 
 
 class DeclaredWorkload(Workload):

@@ -169,6 +169,108 @@ def bench_run_all(*, scale: float = 8.0) -> dict:
     }
 
 
+def bench_serve(
+    *,
+    requests: int = 24,
+    clients: int = 8,
+    scale: float = 16.0,
+    jobs: int = 1,
+) -> dict:
+    """Evaluation-daemon throughput: cold vs warm requests/second.
+
+    Starts a real daemon (HTTP front end on a loopback port, backed by a
+    throwaway artifact store) and drives it with a thread-pool of
+    ``clients`` concurrent clients submitting ``requests`` *distinct*
+    fig08-derived scenarios.  The first pass is cold — every request
+    simulates; the second pass resubmits the identical scenarios and must
+    be served entirely from the warm cache.  A final probe submits one
+    scenario from ``clients`` threads at once and asserts the content-hash
+    dedup collapsed them into a single evaluation.
+    """
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.experiments.store import ArtifactStore
+    from repro.scenario.registry import get_scenario
+    from repro.serve import ServeClient, ServerThread
+    from repro.utils.units import MIB
+
+    base = get_scenario("fig08", scale=scale)
+    payloads = [
+        base.with_overrides({"io.buffer_size": (1 + index) * MIB}).to_dict()
+        for index in range(requests)
+    ]
+
+    def drive(client: ServeClient) -> float:
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            _, wall = _timed(lambda: list(pool.map(client.evaluate, payloads)))
+        return wall
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServerThread(store=ArtifactStore(tmp), jobs=jobs) as server:
+            client = ServeClient(server.url)
+            cold_wall = drive(client)
+            warm_wall = drive(client)
+            stats_after_passes = client.stats()
+
+            probe = base.with_overrides({"io.buffer_size": (requests + 1) * MIB})
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                list(pool.map(client.evaluate, [probe.to_dict()] * clients))
+            stats = client.stats()
+
+    evaluated_in_probe = stats["evaluated"] - stats_after_passes["evaluated"]
+    assert stats_after_passes["evaluated"] == requests, "warm pass re-simulated"
+    assert evaluated_in_probe == 1, "dedup probe evaluated more than once"
+    return {
+        "requests": requests,
+        "clients": clients,
+        "scale": scale,
+        "jobs": jobs,
+        "cold": {"wall_s": cold_wall, "requests_per_s": requests / cold_wall},
+        "warm": {"wall_s": warm_wall, "requests_per_s": requests / warm_wall},
+        "warm_speedup": cold_wall / warm_wall,
+        "dedup": {"probe_clients": clients, "evaluations": evaluated_in_probe},
+        "stats": {
+            key: stats[key]
+            for key in ("requests", "cache_hits", "deduped", "evaluated", "errors")
+        },
+    }
+
+
+def run_serve_suite(
+    *,
+    requests: int = 24,
+    clients: int = 8,
+    scale: float = 16.0,
+    jobs: int = 1,
+    on_progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the serve load generator and assemble the ``BENCH_6.json`` payload."""
+    from repro.experiments.store import git_sha
+
+    if on_progress is not None:
+        on_progress(
+            f"serve: {requests} scenarios, {clients} clients, "
+            f"scale {scale:g}, jobs {jobs}"
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_sha": git_sha(),
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {
+            "requests": requests,
+            "clients": clients,
+            "scale": scale,
+            "jobs": jobs,
+        },
+        "results": {
+            "serve": bench_serve(
+                requests=requests, clients=clients, scale=scale, jobs=jobs
+            )
+        },
+    }
+
+
 def run_suite(
     *,
     nodes: int = 512,
@@ -217,23 +319,40 @@ def render_suite(payload: dict) -> str:
     results = payload["results"]
     lines = [f"benchmark suite ({payload['schema']}, commit {payload['git_sha'] or '?'})"]
     for kind in ("theta", "mira"):
-        entry = results[f"placement_{kind}"]
+        entry = results.get(f"placement_{kind}")
+        if entry is None:
+            continue
         lines.append(
             f"  placement/{kind:<6} {entry['fast']['candidates_per_s']:>10,.0f} "
             f"candidates/s  (scalar {entry['scalar']['candidates_per_s']:,.0f}, "
             f"speedup {entry['speedup']:.1f}x)"
         )
-    tune = results["tune"]
-    lines.append(
-        f"  tune/{tune['target']:<11} {tune['fast']['points_per_s']:>10,.1f} "
-        f"points/s      (scalar {tune['scalar']['points_per_s']:,.1f}, "
-        f"speedup {tune['speedup']:.1f}x)"
-    )
-    run_all = results["run_all"]
-    lines.append(
-        f"  run-all           {run_all['wall_s']:>10.2f} s           "
-        f"({run_all['experiments']} experiments at scale "
-        f"{run_all['scale']:g}, checks "
-        f"{'pass' if run_all['all_checks_pass'] else 'FAIL'})"
-    )
+    tune = results.get("tune")
+    if tune is not None:
+        lines.append(
+            f"  tune/{tune['target']:<11} {tune['fast']['points_per_s']:>10,.1f} "
+            f"points/s      (scalar {tune['scalar']['points_per_s']:,.1f}, "
+            f"speedup {tune['speedup']:.1f}x)"
+        )
+    run_all = results.get("run_all")
+    if run_all is not None:
+        lines.append(
+            f"  run-all           {run_all['wall_s']:>10.2f} s           "
+            f"({run_all['experiments']} experiments at scale "
+            f"{run_all['scale']:g}, checks "
+            f"{'pass' if run_all['all_checks_pass'] else 'FAIL'})"
+        )
+    serve = results.get("serve")
+    if serve is not None:
+        lines.append(
+            f"  serve/cold        {serve['cold']['requests_per_s']:>10,.1f} "
+            f"requests/s    ({serve['requests']} scenarios, "
+            f"{serve['clients']} clients, jobs {serve['jobs']})"
+        )
+        lines.append(
+            f"  serve/warm        {serve['warm']['requests_per_s']:>10,.1f} "
+            f"requests/s    (warm speedup {serve['warm_speedup']:.1f}x, "
+            f"dedup {serve['dedup']['probe_clients']} -> "
+            f"{serve['dedup']['evaluations']} evaluation)"
+        )
     return "\n".join(lines)

@@ -77,6 +77,23 @@ def unknown_experiment_message(experiment_id: str) -> str:
     )
 
 
+def _run_registered(
+    experiment_id: str,
+    scale: float = 1.0,
+    overrides: Mapping[str, Any] | None = None,
+) -> ExperimentResult:
+    """Execute one registered experiment (the canonical internal executor).
+
+    Everything public — :func:`run_experiment`, the parallel runner's worker
+    processes, :func:`repro.core.api.evaluate` — funnels through here.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(unknown_experiment_message(experiment_id))
+    if overrides:
+        return EXPERIMENTS[experiment_id](scale, overrides)
+    return EXPERIMENTS[experiment_id](scale)
+
+
 def run_experiment(
     experiment_id: str,
     *,
@@ -84,6 +101,11 @@ def run_experiment(
     overrides: Mapping[str, Any] | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id.
+
+    A thin compatibility shim over :func:`repro.core.api.evaluate` — the one
+    public entry point the CLI, the tuner objectives, and the evaluation
+    daemon all share.  Prefer ``evaluate`` in new code; this wrapper stays
+    so existing ``harness``/``figures``-style imports keep working.
 
     Args:
         experiment_id: one of :func:`list_experiments`.
@@ -95,11 +117,9 @@ def run_experiment(
     Raises:
         KeyError: for an unknown experiment id (with a did-you-mean hint).
     """
-    if experiment_id not in EXPERIMENTS:
-        raise KeyError(unknown_experiment_message(experiment_id))
-    if overrides:
-        return EXPERIMENTS[experiment_id](scale, overrides)
-    return EXPERIMENTS[experiment_id](scale)
+    from repro.core.api import evaluate
+
+    return evaluate(experiment_id, scale=scale, overrides=overrides).result
 
 
 def run_all(

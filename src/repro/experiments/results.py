@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.utils.tables import Table
 
@@ -80,6 +82,69 @@ class ExperimentResult:
     checks: dict[str, bool] = field(default_factory=dict)
     paper_reference: str = ""
     notes: str = ""
+
+    # -- serialisation ------------------------------------------------------
+    #
+    # Mirrors Scenario's to_dict/from_dict/to_json/from_json so the two
+    # halves of every (scenario in, result out) exchange — the artifact
+    # store, the evaluation daemon, the CLI's --json modes — share one
+    # serialisation idiom.  The former module-level helpers in
+    # repro.experiments.store remain as deprecated aliases.
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serialisable; inverse of :meth:`from_dict`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "machine": self.machine,
+            "x_label": self.x_label,
+            "series": [
+                {
+                    "label": series.label,
+                    "points": [
+                        {"x": point.x, "bandwidth_gbps": point.bandwidth_gbps}
+                        for point in series.points
+                    ],
+                }
+                for series in self.series
+            ],
+            "checks": dict(self.checks),
+            "paper_reference": self.paper_reference,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        series = [
+            Series(
+                label=entry["label"],
+                points=[
+                    SeriesPoint(x=point["x"], bandwidth_gbps=point["bandwidth_gbps"])
+                    for point in entry["points"]
+                ],
+            )
+            for entry in payload["series"]
+        ]
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            machine=payload["machine"],
+            x_label=payload["x_label"],
+            series=series,
+            checks=dict(payload["checks"]),
+            paper_reference=payload.get("paper_reference", ""),
+            notes=payload.get("notes", ""),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict` (round-trips via :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def series_by_label(self, label: str) -> Series:
         """Look up a series by its label (KeyError if absent)."""

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.experiments.results import ExperimentResult
-from repro.experiments.store import ArtifactStore, result_from_dict
+from repro.experiments.store import ArtifactStore
 
 
 @dataclass
@@ -151,11 +151,54 @@ def _execute(
 ) -> tuple[str, ExperimentResult, float]:
     """Worker entry point: run one experiment and time it (picklable)."""
     # Imported here so forked/spawned workers resolve the registry themselves.
-    from repro.experiments.harness import run_experiment
+    from repro.experiments.harness import _run_registered
 
     start = time.perf_counter()
-    result = run_experiment(experiment_id, scale=scale, overrides=overrides)
+    result = _run_registered(experiment_id, scale, overrides)
     return experiment_id, result, time.perf_counter() - start
+
+
+def _run_scenario(payload: dict) -> dict:
+    """Worker entry point: evaluate one scenario payload (picklable).
+
+    Returns a response envelope rather than raising: a single malformed
+    scenario in a daemon batch must not poison its siblings.
+    """
+    # Imported here so forked/spawned workers resolve everything themselves.
+    from repro.core.api import evaluate
+    from repro.scenario.spec import Scenario
+
+    try:
+        scenario = Scenario.from_dict(payload)
+        evaluation = evaluate(scenario)
+        return {
+            "status": "ok",
+            "scenario_id": scenario.id,
+            "scenario_hash": evaluation.key,
+            "wall_time_s": evaluation.wall_time_s,
+            "result": evaluation.result.to_dict(),
+        }
+    except ValueError as error:
+        # ScenarioError and the model layers' resolution-time rejections
+        # are both ValueErrors: the scenario is invalid, not the batch.
+        return {"status": "error", "error": str(error)}
+
+
+def run_scenario_batch(payloads: list[dict]) -> list[dict]:
+    """Worker entry point: evaluate a batch of scenario payloads in one task."""
+    return [_run_scenario(payload) for payload in payloads]
+
+
+def submit_scenario_batch(payloads: list[dict], *, jobs: int):
+    """Submit a scenario batch to the shared persistent pool.
+
+    The serving layer's bridge into the PR-5 worker pool: returns the
+    :class:`concurrent.futures.Future` of the batch (resolve with
+    ``asyncio.wrap_future`` on the event loop), whose result is one response
+    envelope per payload, in input order.
+    """
+    pool_args = (max(1, jobs), _machine_spec_payloads(payloads))
+    return _submit_retrying(pool_args, run_scenario_batch, payloads)
 
 
 def _evaluate_candidate(payload: dict, objective: str) -> tuple[bool, float | str]:
@@ -311,7 +354,7 @@ def run_experiments(
             record(
                 RunOutcome(
                     experiment_id=experiment_id,
-                    result=result_from_dict(envelope["result"]),
+                    result=ExperimentResult.from_dict(envelope["result"]),
                     wall_time_s=envelope.get("wall_time_s", 0.0),
                     cached=True,
                 )

@@ -1,19 +1,28 @@
 """JSON artifact store for experiment results.
 
-Every experiment run can be persisted as one JSON file per experiment plus
-a ``manifest.json`` describing the whole sweep (experiment id, scale, wall
-time, check outcomes, git SHA).  The store doubles as a content-addressed
-cache keyed on ``(experiment_id, scale)``: re-running an unchanged
-experiment at the same scale is a cache hit and the stored result is
-returned without re-simulating.
+Every experiment run can be persisted as one JSON document per experiment
+plus a ``manifest.json`` describing the whole sweep (experiment id, scale,
+wall time, check outcomes, git SHA).  The store doubles as a
+content-addressed cache keyed on ``(experiment_id, scale)``: re-running an
+unchanged experiment at the same scale is a cache hit and the stored result
+is returned without re-simulating.
 
-The on-disk layout of an artifact directory is::
+*Where* the documents live is delegated to a
+:class:`~repro.experiments.backends.StoreBackend`.  The default backend is
+the historical flat directory — byte-identical to the pre-backend layout::
 
     artifacts/
         manifest.json        # sweep-level metadata + per-experiment summary
         fig07.json           # one envelope per experiment (see ARTIFACT_SCHEMA)
         fig08.json
         ...
+        tuning-points/       # per-candidate tuning cache
+        scenario-results/    # per-scenario-hash cache (the serving layer)
+
+— while ``sharded:DIR`` (file-locked, directory-sharded JSON) and
+``sqlite:FILE.db`` back the same store API with concurrent-safe storage so
+the runner, the tuner, and the evaluation daemon can all share one warm
+cache (see :meth:`ArtifactStore.from_spec`).
 
 Artifacts are plain JSON so downstream tooling (CI uploads, notebooks,
 plotting scripts) can consume them without importing this package.
@@ -24,10 +33,12 @@ from __future__ import annotations
 import hashlib
 import json
 import subprocess
+import warnings
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from repro.experiments.results import ExperimentResult, Series, SeriesPoint
+from repro.experiments.backends import DirectoryBackend, StoreBackend, open_backend
+from repro.experiments.results import ExperimentResult
 
 #: Version stamp embedded in every artifact and manifest so future readers
 #: can detect incompatible layouts.
@@ -42,67 +53,49 @@ TUNING_TRACE_STEM = ".tuning"
 #: Subdirectory holding the per-candidate tuning point cache.
 TUNING_POINT_DIR = "tuning-points"
 
+#: Subdirectory holding the per-scenario-hash result cache (serving layer).
+SCENARIO_RESULT_DIR = "scenario-results"
+
 
 # ---------------------------------------------------------------------------
-# ExperimentResult <-> JSON
+# ExperimentResult <-> JSON (deprecated module-level aliases)
+#
+# The canonical serialisation now lives on ExperimentResult itself
+# (to_dict/from_dict/to_json/from_json, mirroring Scenario); these wrappers
+# keep old imports working.
 # ---------------------------------------------------------------------------
 
 
-def result_to_dict(result: ExperimentResult) -> dict:
-    """Plain-dict form of an :class:`ExperimentResult` (JSON-serialisable)."""
-    return {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "machine": result.machine,
-        "x_label": result.x_label,
-        "series": [
-            {
-                "label": series.label,
-                "points": [
-                    {"x": point.x, "bandwidth_gbps": point.bandwidth_gbps}
-                    for point in series.points
-                ],
-            }
-            for series in result.series
-        ],
-        "checks": dict(result.checks),
-        "paper_reference": result.paper_reference,
-        "notes": result.notes,
-    }
-
-
-def result_from_dict(payload: dict) -> ExperimentResult:
-    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output."""
-    series = [
-        Series(
-            label=entry["label"],
-            points=[
-                SeriesPoint(x=point["x"], bandwidth_gbps=point["bandwidth_gbps"])
-                for point in entry["points"]
-            ],
-        )
-        for entry in payload["series"]
-    ]
-    return ExperimentResult(
-        experiment_id=payload["experiment_id"],
-        title=payload["title"],
-        machine=payload["machine"],
-        x_label=payload["x_label"],
-        series=series,
-        checks=dict(payload["checks"]),
-        paper_reference=payload.get("paper_reference", ""),
-        notes=payload.get("notes", ""),
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.store.{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Deprecated alias of :meth:`ExperimentResult.to_dict`."""
+    _deprecated("result_to_dict", "ExperimentResult.to_dict()")
+    return result.to_dict()
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Deprecated alias of :meth:`ExperimentResult.from_dict`."""
+    _deprecated("result_from_dict", "ExperimentResult.from_dict()")
+    return ExperimentResult.from_dict(payload)
+
+
 def to_json(result: ExperimentResult, *, indent: int | None = 2) -> str:
-    """Serialise a result to a JSON string (round-trips via :func:`from_json`)."""
-    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+    """Deprecated alias of :meth:`ExperimentResult.to_json`."""
+    _deprecated("to_json", "ExperimentResult.to_json()")
+    return result.to_json(indent=indent)
 
 
 def from_json(text: str) -> ExperimentResult:
-    """Inverse of :func:`to_json`."""
-    return result_from_dict(json.loads(text))
+    """Deprecated alias of :meth:`ExperimentResult.from_json`."""
+    _deprecated("from_json", "ExperimentResult.from_json()")
+    return ExperimentResult.from_json(text)
 
 
 # ---------------------------------------------------------------------------
@@ -180,44 +173,63 @@ def git_sha(repo_dir: Path | str | None = None) -> str | None:
 
 
 class ArtifactStore:
-    """One-directory JSON store of experiment artifacts.
+    """JSON store of experiment artifacts over a pluggable backend.
 
     Args:
-        root: artifact directory (created lazily on the first write).
+        root: artifact directory (created lazily on the first write) when no
+            explicit ``backend`` is given; otherwise only used for messages.
+        backend: storage backend; defaults to the historical (byte-identical)
+            flat-directory layout at ``root``.
     """
 
-    def __init__(self, root: Path | str):
+    def __init__(self, root: Path | str, backend: StoreBackend | None = None):
         self.root = Path(root)
+        self.backend = backend if backend is not None else DirectoryBackend(self.root)
 
-    # -- paths --------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str | Path) -> "ArtifactStore":
+        """A store from an ``--out`` spec string.
+
+        ``DIR`` (or ``dir:DIR``) opens the default directory layout,
+        ``sharded:DIR`` the file-locked sharded layout, ``sqlite:FILE.db``
+        the SQLite backend; a plain path to an existing sharded root or
+        SQLite file reopens with its own backend.
+        """
+        backend = open_backend(spec)
+        root = getattr(backend, "root", None) or getattr(backend, "path")
+        return cls(root, backend)
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def _artifact_key(experiment_id: str, overrides: Mapping | None = None) -> str:
+        """Logical key of the per-experiment artifact.
+
+        Overridden runs live under their own ``<id>@set-<digest>.json`` keys
+        so exploratory ``--set`` sweeps never clobber the as-published
+        artifact (which ``report --from`` and the plain-run cache rely on).
+        """
+        if overrides:
+            digest = cache_key(experiment_id, 0.0, overrides)[:12]
+            return f"{experiment_id}@set-{digest}.json"
+        return f"{experiment_id}.json"
 
     def artifact_path(
         self, experiment_id: str, overrides: Mapping | None = None
     ) -> Path:
-        """Path of the per-experiment artifact file.
-
-        Overridden runs live in their own ``<id>@set-<digest>.json`` files so
-        exploratory ``--set`` sweeps never clobber the as-published artifact
-        (which ``report --from`` and the plain-run cache rely on).
-        """
-        if overrides:
-            digest = cache_key(experiment_id, 0.0, overrides)[:12]
-            return self.root / f"{experiment_id}@set-{digest}.json"
-        return self.root / f"{experiment_id}.json"
+        """Where the per-experiment artifact (would) live on this backend."""
+        return self.backend.path_hint(self._artifact_key(experiment_id, overrides))
 
     @property
     def manifest_path(self) -> Path:
-        """Path of the sweep-level manifest."""
-        return self.root / MANIFEST_NAME
+        """Where the sweep-level manifest (would) live on this backend."""
+        return self.backend.path_hint(MANIFEST_NAME)
 
     # -- write --------------------------------------------------------------
 
-    @staticmethod
-    def _write_atomic(path: Path, text: str) -> None:
-        """Write via temp file + rename so readers never see a torn file."""
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(text, encoding="utf-8")
-        tmp.replace(path)
+    def _put(self, key: str, payload: Mapping) -> Path:
+        self.backend.put(key, json.dumps(payload, indent=2, sort_keys=True))
+        return self.backend.path_hint(key)
 
     def save(
         self,
@@ -232,94 +244,104 @@ class ArtifactStore:
 
         Returns the path of the written artifact.
         """
-        self.root.mkdir(parents=True, exist_ok=True)
         envelope = {
             "schema": ARTIFACT_SCHEMA,
             "experiment_id": result.experiment_id,
             "scale": float(scale),
             "cache_key": cache_key(result.experiment_id, scale, overrides),
             "wall_time_s": wall_time_s,
-            "result": result_to_dict(result),
+            "result": result.to_dict(),
         }
         if overrides:
             envelope["overrides"] = canonical_overrides(overrides)
-        path = self.artifact_path(result.experiment_id, overrides)
-        self._write_atomic(path, json.dumps(envelope, indent=2, sort_keys=True))
+        path = self._put(self._artifact_key(result.experiment_id, overrides), envelope)
         if update_manifest:
             self.refresh_manifest()
         return path
 
     def refresh_manifest(self) -> None:
-        """Rewrite ``manifest.json`` from the artifacts currently on disk.
+        """Rewrite ``manifest.json`` from the artifacts currently stored.
 
         Unreadable or foreign-schema artifacts are skipped rather than
         poisoning the whole sweep (an interrupted writer must not make
-        every later :meth:`save` crash).
+        every later :meth:`save` crash).  The rebuild runs under the
+        backend's manifest lock so concurrent writers serialise instead of
+        interleaving half-built manifests.
         """
-        experiments = {}
-        for experiment_id in self.experiment_ids():
-            try:
-                envelope = self.load_envelope(experiment_id)
-            except (OSError, ValueError, KeyError):
-                continue
-            checks = envelope["result"]["checks"]
-            experiments[experiment_id] = {
-                "artifact": self.artifact_path(experiment_id).name,
-                "scale": envelope["scale"],
-                "cache_key": envelope["cache_key"],
-                "wall_time_s": envelope["wall_time_s"],
-                "checks": checks,
-                "all_checks_pass": all(checks.values()),
+        with self.backend.lock(MANIFEST_NAME):
+            experiments = {}
+            for experiment_id in self.experiment_ids():
+                try:
+                    envelope = self.load_envelope(experiment_id)
+                except (OSError, ValueError, KeyError):
+                    continue
+                checks = envelope["result"]["checks"]
+                experiments[experiment_id] = {
+                    "artifact": self._artifact_key(experiment_id),
+                    "scale": envelope["scale"],
+                    "cache_key": envelope["cache_key"],
+                    "wall_time_s": envelope["wall_time_s"],
+                    "checks": checks,
+                    "all_checks_pass": all(checks.values()),
+                }
+            manifest = {
+                "schema": ARTIFACT_SCHEMA,
+                "git_sha": git_sha(),
+                "experiments": experiments,
             }
-        manifest = {
-            "schema": ARTIFACT_SCHEMA,
-            "git_sha": git_sha(),
-            "experiments": experiments,
-        }
-        self._write_atomic(self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True))
+            self._put(MANIFEST_NAME, manifest)
 
     # -- read ---------------------------------------------------------------
 
     def experiment_ids(self) -> list[str]:
         """Ids of the experiments with an as-published artifact, sorted.
 
-        Artifacts of overridden (``--set``) runs are cache-only and
-        tuning traces (``*.tuning.json``) have their own listing; both are
-        excluded: the manifest and ``report --from`` experiment sections
-        reflect the published reproduction.
+        Artifacts of overridden (``--set``) runs are cache-only; tuning
+        traces (``*.tuning.json``), tuning points, and scenario results have
+        their own listings; all are excluded: the manifest and
+        ``report --from`` experiment sections reflect the published
+        reproduction.
         """
-        if not self.root.is_dir():
-            return []
         return sorted(
-            path.stem
-            for path in self.root.glob("*.json")
-            if path.name != MANIFEST_NAME
-            and "@set-" not in path.stem
-            and not path.stem.endswith(TUNING_TRACE_STEM)
+            key[: -len(".json")]
+            for key in self.backend.keys()
+            if "/" not in key
+            and key.endswith(".json")
+            and key != MANIFEST_NAME
+            and "@set-" not in key
+            and not key.endswith(f"{TUNING_TRACE_STEM}.json")
         )
+
+    def _get_json(self, key: str) -> dict | None:
+        text = self.backend.get(key)
+        if text is None:
+            return None
+        return json.loads(text)
 
     def load_envelope(self, experiment_id: str, overrides: Mapping | None = None) -> dict:
         """The full artifact envelope (schema, scale, wall time, result...)."""
-        path = self.artifact_path(experiment_id, overrides)
-        if not path.is_file():
+        key = self._artifact_key(experiment_id, overrides)
+        text = self.backend.get(key)
+        if text is None:
             raise FileNotFoundError(f"no artifact for {experiment_id!r} in {self.root}")
-        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope = json.loads(text)
         if envelope.get("schema") != ARTIFACT_SCHEMA:
             raise ValueError(
-                f"artifact {path} has schema {envelope.get('schema')!r}, "
-                f"expected {ARTIFACT_SCHEMA}"
+                f"artifact {self.backend.path_hint(key)} has schema "
+                f"{envelope.get('schema')!r}, expected {ARTIFACT_SCHEMA}"
             )
         return envelope
 
     def load(self, experiment_id: str) -> ExperimentResult:
         """The stored :class:`ExperimentResult` for one experiment."""
-        return result_from_dict(self.load_envelope(experiment_id)["result"])
+        return ExperimentResult.from_dict(self.load_envelope(experiment_id)["result"])
 
     def read_manifest(self) -> dict:
         """The sweep manifest (FileNotFoundError if absent)."""
-        if not self.manifest_path.is_file():
+        manifest = self._get_json(MANIFEST_NAME)
+        if manifest is None:
             raise FileNotFoundError(f"no {MANIFEST_NAME} in {self.root}")
-        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        return manifest
 
     # -- cache --------------------------------------------------------------
 
@@ -328,7 +350,7 @@ class ArtifactStore:
     ) -> dict | None:
         """The artifact envelope for ``(experiment_id, scale, overrides)``, or ``None``.
 
-        A single disk read serves cache-validity, result, and wall time;
+        A single backend read serves cache-validity, result, and wall time;
         unreadable or mismatched artifacts are a miss, never an error.
         """
         try:
@@ -350,7 +372,7 @@ class ArtifactStore:
     ) -> ExperimentResult | None:
         """The cached result for ``(experiment_id, scale, overrides)``, or ``None``."""
         envelope = self.cached_envelope(experiment_id, scale, overrides)
-        return None if envelope is None else result_from_dict(envelope["result"])
+        return None if envelope is None else ExperimentResult.from_dict(envelope["result"])
 
     def scales(self) -> list[float]:
         """Distinct scales of the stored artifacts, sorted."""
@@ -368,18 +390,17 @@ class ArtifactStore:
         """
         keep_set = set(keep)
         removed = []
-        if not self.root.is_dir():
-            return removed
-        for path in sorted(self.root.glob("*.json")):
-            if path.name == MANIFEST_NAME:
+        for key in self.backend.keys():
+            if "/" in key or key == MANIFEST_NAME or not key.endswith(".json"):
                 continue
-            base_id = path.stem.split("@set-", 1)[0]
+            stem = key[: -len(".json")]
+            base_id = stem.split("@set-", 1)[0]
             if base_id not in keep_set:
-                path.unlink()
-                removed.append(path.stem)
+                self.backend.delete(key)
+                removed.append(stem)
         if removed:
             self.refresh_manifest()
-        return removed
+        return sorted(removed)
 
     # -- tuning traces and the tuning point cache ---------------------------
 
@@ -388,51 +409,56 @@ class ArtifactStore:
         """File-system-safe stem for a tuning target's trace artifact.
 
         Registry names may contain ``/`` (``interference_theta_ost/shared``);
-        the separator is flattened so the trace stays one file at the store
-        root, next to the experiment artifacts it annotates.
+        the separator is flattened so the trace stays one document at the
+        store's top level, next to the experiment artifacts it annotates.
         """
         return target.replace("/", "--")
 
+    @classmethod
+    def _trace_key(cls, target: str) -> str:
+        return f"{cls._trace_stem(target)}{TUNING_TRACE_STEM}.json"
+
     def tuning_trace_path(self, target: str) -> Path:
-        """Path of the tuning-trace artifact for one target."""
-        return self.root / f"{self._trace_stem(target)}{TUNING_TRACE_STEM}.json"
+        """Where the tuning-trace artifact for one target (would) live."""
+        return self.backend.path_hint(self._trace_key(target))
 
     def save_tuning_trace(self, target: str, payload: Mapping) -> Path:
         """Persist one tuning trace (plain dict; see ``TuningTrace.to_dict``)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.tuning_trace_path(target)
-        self._write_atomic(path, json.dumps(dict(payload), indent=2, sort_keys=True))
-        return path
+        return self._put(self._trace_key(target), dict(payload))
 
     def tuning_trace_targets(self) -> list[str]:
         """Targets with a stored tuning trace, sorted.
 
         Targets come from each trace's own ``target`` field (the filename
         mangling is not reversible for names containing ``--``); unreadable
-        traces fall back to their filename stem rather than disappearing.
+        traces fall back to their key stem rather than disappearing.
         """
-        if not self.root.is_dir():
-            return []
         suffix = f"{TUNING_TRACE_STEM}.json"
         targets = []
-        for path in sorted(self.root.glob(f"*{suffix}")):
+        for key in self.backend.keys():
+            if "/" in key or not key.endswith(suffix):
+                continue
             try:
-                target = json.loads(path.read_text(encoding="utf-8")).get("target")
-            except (OSError, ValueError):
+                target = (self._get_json(key) or {}).get("target")
+            except ValueError:
                 target = None
-            targets.append(target or path.name[: -len(suffix)])
+            targets.append(target or key[: -len(suffix)])
         return sorted(targets)
 
     def load_tuning_trace(self, target: str) -> dict:
         """The stored tuning-trace payload for one target."""
-        path = self.tuning_trace_path(target)
-        if not path.is_file():
+        payload = self._get_json(self._trace_key(target))
+        if payload is None:
             raise FileNotFoundError(f"no tuning trace for {target!r} in {self.root}")
-        return json.loads(path.read_text(encoding="utf-8"))
+        return payload
+
+    @staticmethod
+    def _tuning_point_key(digest: str) -> str:
+        return f"{TUNING_POINT_DIR}/{digest}.json"
 
     def tuning_point_path(self, digest: str) -> Path:
-        """Path of one cached candidate evaluation, by content digest."""
-        return self.root / TUNING_POINT_DIR / f"{digest}.json"
+        """Where one cached candidate evaluation (would) live, by digest."""
+        return self.backend.path_hint(self._tuning_point_key(digest))
 
     def save_tuning_point(self, digest: str, payload: Mapping) -> Path:
         """Persist one candidate evaluation keyed by ``(scenario, objective)``.
@@ -441,19 +467,55 @@ class ArtifactStore:
         any later tune — same strategy or not — that lands on the same
         scenario/objective pair is served from disk instead of re-simulated.
         """
-        path = self.tuning_point_path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"schema": ARTIFACT_SCHEMA, "digest": digest, **dict(payload)}
-        self._write_atomic(path, json.dumps(envelope, indent=2, sort_keys=True))
-        return path
+        return self._put(self._tuning_point_key(digest), envelope)
 
     def load_tuning_point(self, digest: str) -> dict | None:
         """The cached evaluation for a digest, or ``None`` (a miss, never an error)."""
-        path = self.tuning_point_path(digest)
         try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            envelope = self._get_json(self._tuning_point_key(digest))
+        except ValueError:
             return None
-        if envelope.get("schema") != ARTIFACT_SCHEMA:
+        if envelope is None or envelope.get("schema") != ARTIFACT_SCHEMA:
             return None
         return envelope
+
+    # -- scenario-result cache (the serving layer) --------------------------
+
+    @staticmethod
+    def _scenario_result_key(scenario_hash: str) -> str:
+        return f"{SCENARIO_RESULT_DIR}/{scenario_hash}.json"
+
+    def save_scenario_result(self, scenario_hash: str, payload: Mapping) -> Path:
+        """Persist one evaluated scenario keyed by its content hash.
+
+        This is the cache behind :func:`repro.core.api.evaluate` and the
+        evaluation daemon: any client that later submits a scenario with the
+        same canonical JSON is served the stored result without
+        re-simulating.
+        """
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "scenario_hash": scenario_hash,
+            **dict(payload),
+        }
+        return self._put(self._scenario_result_key(scenario_hash), envelope)
+
+    def load_scenario_result(self, scenario_hash: str) -> dict | None:
+        """The cached evaluation for a scenario hash, or ``None`` (a miss)."""
+        try:
+            envelope = self._get_json(self._scenario_result_key(scenario_hash))
+        except ValueError:
+            return None
+        if envelope is None or envelope.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        return envelope
+
+    def scenario_result_hashes(self) -> list[str]:
+        """Hashes with a cached scenario result, sorted."""
+        prefix = f"{SCENARIO_RESULT_DIR}/"
+        return sorted(
+            key[len(prefix) : -len(".json")]
+            for key in self.backend.keys(prefix)
+            if key.endswith(".json")
+        )

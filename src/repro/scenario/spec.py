@@ -21,6 +21,7 @@ data.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
@@ -541,6 +542,16 @@ class Scenario:
         except json.JSONDecodeError as error:
             raise ScenarioError(f"scenario is not valid JSON: {error}") from error
         return cls.from_dict(payload)
+
+    def content_hash(self) -> str:
+        """SHA-256 digest of the canonical JSON form.
+
+        Two scenarios with the same hash are by construction the same
+        description; the evaluation daemon dedupes in-flight requests and
+        the store caches evaluated results by this address.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # -- overrides ----------------------------------------------------------
 

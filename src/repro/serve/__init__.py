@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: the asynchronous evaluation daemon.
+
+``repro serve`` turns the toolkit into a long-lived evaluation service:
+clients submit :class:`~repro.scenario.spec.Scenario` JSON and receive the
+experiment result, without paying interpreter start-up, registry imports, or
+worker-pool spin-up per request.  Two front ends share one
+:class:`~repro.serve.service.EvaluationService`:
+
+* an HTTP endpoint (:mod:`repro.serve.http`) — ``POST /evaluate`` with a
+  scenario payload, ``POST /evaluate-batch`` streaming NDJSON responses as
+  evaluations complete, plus ``GET /healthz`` and ``GET /stats``;
+* a file-based job queue (:mod:`repro.serve.jobqueue`) — drop scenario JSON
+  into ``inbox/``, collect the response envelope from ``done/``; useful from
+  batch schedulers and shells where opening sockets is awkward.
+
+The service dedupes concurrent identical scenarios by content hash (two
+clients submitting the same description trigger exactly one evaluation),
+serves warm hits from the shared :class:`~repro.experiments.store.ArtifactStore`
+without re-simulating, and microbatches fresh work into the persistent
+worker pool from :mod:`repro.experiments.runner`.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.http import HttpFrontend, ServerThread
+from repro.serve.jobqueue import JobQueueFrontend, collect_job, submit_job
+from repro.serve.service import EvaluationService
+
+__all__ = [
+    "EvaluationService",
+    "HttpFrontend",
+    "JobQueueFrontend",
+    "ServeClient",
+    "ServerThread",
+    "collect_job",
+    "submit_job",
+]

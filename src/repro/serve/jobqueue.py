@@ -1,0 +1,157 @@
+"""File-based job-queue front end for the evaluation service.
+
+Sockets are awkward from batch schedulers, containers without port
+forwarding, and plain shells — but every one of them can write a file.  The
+queue protocol is three directories under one root::
+
+    queue/
+      inbox/   <job>.json     # submitted scenario payloads (atomic rename)
+      work/    <job>.json     # claimed by the daemon (rename from inbox/)
+      done/    <job>.json     # response envelopes, one per job
+
+* **Submit** (:func:`submit_job`): write the scenario payload to a hidden
+  temp file and ``os.rename`` it into ``inbox/`` — the daemon can never see
+  a half-written job.
+* **Claim**: the daemon renames ``inbox/<job>.json`` to ``work/<job>.json``;
+  the rename is atomic, so even multiple daemons polling one queue would
+  each claim a job exactly once.
+* **Complete**: the envelope lands in ``done/<job>.json`` (again via temp +
+  rename) and the ``work/`` entry is removed.
+* **Collect** (:func:`collect_job`): poll ``done/`` for the envelope.
+
+Jobs flow through the same :class:`~repro.serve.service.EvaluationService`
+as HTTP requests, so the content-hash dedup and the warm cache are shared
+across both front ends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+
+from repro.serve.service import EvaluationService
+
+INBOX = "inbox"
+WORK = "work"
+DONE = "done"
+
+
+def _queue_dirs(root: Path) -> tuple[Path, Path, Path]:
+    inbox, work, done = root / INBOX, root / WORK, root / DONE
+    for directory in (inbox, work, done):
+        directory.mkdir(parents=True, exist_ok=True)
+    return inbox, work, done
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.rename(tmp, path)
+
+
+def submit_job(root: str | Path, payload: dict, *, job_id: str | None = None) -> str:
+    """Submit one scenario payload to a queue; returns the job id."""
+    inbox, _, _ = _queue_dirs(Path(root))
+    job_id = job_id or uuid.uuid4().hex
+    _atomic_write(inbox / f"{job_id}.json", json.dumps(payload, sort_keys=True))
+    return job_id
+
+
+def collect_job(
+    root: str | Path, job_id: str, *, timeout_s: float = 300.0, poll_s: float = 0.05
+) -> dict:
+    """Wait for a job's response envelope (raises ``TimeoutError`` if late)."""
+    done = Path(root) / DONE / f"{job_id}.json"
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if done.exists():
+            return json.loads(done.read_text(encoding="utf-8"))
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} not completed within {timeout_s}s")
+        time.sleep(poll_s)
+
+
+class JobQueueFrontend:
+    """The daemon side: poll ``inbox/``, evaluate, write ``done/``.
+
+    Args:
+        service: the shared evaluation core (same instance as HTTP's).
+        root: queue root directory (created on start).
+        poll_s: inbox scan interval; the latency floor of the protocol.
+    """
+
+    def __init__(
+        self, service: EvaluationService, root: str | Path, *, poll_s: float = 0.05
+    ) -> None:
+        self.service = service
+        self.root = Path(root)
+        self.poll_s = poll_s
+        self._task: asyncio.Task | None = None
+
+    async def start(self) -> None:
+        _queue_dirs(self.root)
+        self._task = asyncio.get_running_loop().create_task(self._poll_loop())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _poll_loop(self) -> None:
+        inbox, work, done = _queue_dirs(self.root)
+        while True:
+            claimed = self._claim_all(inbox, work)
+            for job_path in claimed:
+                # Each job evaluates concurrently; the service's batching
+                # window coalesces jobs claimed in the same scan.
+                asyncio.get_running_loop().create_task(
+                    self._run_job(job_path, done)
+                )
+            await asyncio.sleep(self.poll_s)
+
+    @staticmethod
+    def _claim_all(inbox: Path, work: Path) -> list[Path]:
+        """Atomically move every visible inbox job into ``work/``."""
+        claimed = []
+        try:
+            entries = sorted(inbox.iterdir())
+        except FileNotFoundError:
+            return []
+        for entry in entries:
+            if entry.name.startswith(".") or entry.suffix != ".json":
+                continue
+            target = work / entry.name
+            try:
+                os.rename(entry, target)
+            except (FileNotFoundError, OSError):
+                continue  # another daemon claimed it first
+            claimed.append(target)
+        return claimed
+
+    async def _run_job(self, job_path: Path, done: Path) -> None:
+        job_id = job_path.stem
+        try:
+            payload = json.loads(job_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            envelope = {"status": "error", "error": f"unreadable job: {error}"}
+        else:
+            if isinstance(payload, dict):
+                envelope = await self.service.evaluate(payload)
+            else:
+                envelope = {"status": "error", "error": "job must be one scenario object"}
+        _atomic_write(
+            done / f"{job_id}.json",
+            json.dumps({"job_id": job_id, **envelope}, sort_keys=True),
+        )
+        try:
+            job_path.unlink()
+        except FileNotFoundError:
+            pass

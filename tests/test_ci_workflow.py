@@ -17,7 +17,7 @@ def workflow() -> dict:
 
 class TestWorkflowShape:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"lint", "tests", "smoke", "bench"}
+        assert set(workflow["jobs"]) == {"lint", "tests", "smoke", "bench", "serve"}
         # "on" parses as the YAML boolean True in YAML 1.1 readers.
         triggers = workflow.get("on", workflow.get(True))
         assert "push" in triggers and "pull_request" in triggers
@@ -117,6 +117,31 @@ class TestWorkflowShape:
         uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
         assert uploads, "bench job must upload the benchmark JSON"
         assert "BENCH_smoke.json" in uploads[0]["with"]["path"]
+
+    def test_serve_job_submits_twice_and_asserts_cache_hit(self, workflow):
+        steps = workflow["jobs"]["serve"]["steps"]
+        commands = [s.get("run", "") for s in steps]
+        start = [c for c in commands if "repro serve" in c]
+        assert start, "serve job must start the evaluation daemon"
+        assert "healthz" in start[0], "the job must wait for the daemon to be up"
+        submit = [c for c in commands if "repro submit" in c]
+        assert submit, "serve job must submit scenarios to the daemon"
+        assert submit[0].count("repro submit") >= 2, (
+            "the same scenario must be submitted twice"
+        )
+        assert '"cached"' in submit[0] or "cached" in submit[0], (
+            "the second submission must be asserted to be a cache hit"
+        )
+
+    def test_serve_job_benchmarks_and_uploads_bench_6(self, workflow):
+        steps = workflow["jobs"]["serve"]["steps"]
+        commands = [s.get("run", "") for s in steps]
+        bench = [c for c in commands if "repro bench --serve" in c]
+        assert bench, "serve job must run the serve benchmark"
+        assert "BENCH_6.json" in bench[0]
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads, "serve job must upload BENCH_6.json"
+        assert "BENCH_6.json" in uploads[0]["with"]["path"]
 
     def test_smoke_job_runs_run_all_and_uploads_artifacts(self, workflow):
         steps = workflow["jobs"]["smoke"]["steps"]

@@ -1,0 +1,250 @@
+"""Tests for the evaluation daemon: service, HTTP front end, job queue.
+
+No ``pytest-asyncio`` in the container, so async tests run their own event
+loop via ``asyncio.run`` — which also mirrors how the daemon itself runs.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.experiments.store import ArtifactStore
+from repro.scenario.registry import get_scenario
+from repro.serve import (
+    EvaluationService,
+    JobQueueFrontend,
+    ServeClient,
+    ServerThread,
+    collect_job,
+    submit_job,
+)
+from repro.serve.client import ServeError
+
+SCALE = 16.0
+
+
+def payload_for(name: str = "fig08", **overrides) -> dict:
+    scenario = get_scenario(name, scale=SCALE)
+    if overrides:
+        scenario = scenario.with_overrides(overrides)
+    return scenario.to_dict()
+
+
+class TestEvaluationService:
+    def test_concurrent_identical_requests_evaluate_once(self, tmp_path):
+        """The tentpole invariant: N clients, one simulation."""
+        service = EvaluationService(ArtifactStore(tmp_path))
+        payload = payload_for()
+
+        async def main():
+            envelopes = await asyncio.gather(
+                *(service.evaluate(payload) for _ in range(6))
+            )
+            return envelopes
+
+        envelopes = asyncio.run(main())
+        assert all(env["status"] == "ok" for env in envelopes)
+        assert len({env["scenario_hash"] for env in envelopes}) == 1
+        assert service.stats["evaluated"] == 1
+        assert service.stats["deduped"] == 5
+
+    def test_warm_cache_served_without_simulation(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        payload = payload_for()
+        cold = asyncio.run(EvaluationService(store).evaluate(payload))
+        assert cold["status"] == "ok" and not cold["cached"]
+
+        from repro.scenario import simulation
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm hit re-simulated")
+
+        monkeypatch.setattr(simulation.Simulation, "run", boom)
+        service = EvaluationService(store)
+        warm = asyncio.run(service.evaluate(payload))
+        assert warm["cached"] and warm["result"] == cold["result"]
+        assert service.stats["cache_hits"] == 1
+
+    def test_invalid_scenario_is_an_error_envelope(self):
+        service = EvaluationService()
+        envelope = asyncio.run(service.evaluate({"bogus": 1}))
+        assert envelope["status"] == "error"
+        assert service.stats["errors"] == 1
+
+    def test_one_bad_request_does_not_poison_a_batch(self):
+        service = EvaluationService()
+
+        async def main():
+            return await asyncio.gather(
+                service.evaluate(payload_for()),
+                service.evaluate({"bogus": 1}),
+            )
+
+        good, bad = asyncio.run(main())
+        assert good["status"] == "ok"
+        assert bad["status"] == "error"
+
+    def test_distinct_scenarios_share_one_batch(self):
+        service = EvaluationService(batch_window_s=0.05)
+        payloads = [
+            payload_for(**{"io.buffer_size": (1 + i) * 1024 * 1024}) for i in range(3)
+        ]
+
+        async def main():
+            return await asyncio.gather(*(service.evaluate(p) for p in payloads))
+
+        envelopes = asyncio.run(main())
+        assert all(env["status"] == "ok" for env in envelopes)
+        assert service.stats["batches"] == 1
+        assert service.stats["evaluated"] == 3
+
+    def test_snapshot_reports_backend(self, tmp_path):
+        service = EvaluationService(ArtifactStore(tmp_path))
+        snapshot = service.snapshot()
+        assert snapshot["inflight"] == 0
+        assert str(tmp_path) in snapshot["store"]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = ArtifactStore(tmp_path_factory.mktemp("serve-store"))
+    with ServerThread(store=store, jobs=1) as running:
+        yield running
+
+
+class TestHttpFrontend:
+    def test_healthz(self, server):
+        assert ServeClient(server.url).health() == {"status": "ok"}
+
+    def test_evaluate_cold_then_warm(self, server):
+        client = ServeClient(server.url)
+        payload = payload_for(**{"io.buffer_size": 7 * 1024 * 1024})
+        cold = client.evaluate(payload)
+        assert cold["status"] == "ok" and not cold["cached"]
+        warm = client.evaluate(payload)
+        assert warm["cached"] and warm["scenario_hash"] == cold["scenario_hash"]
+        assert warm["result"] == cold["result"]
+
+    def test_concurrent_clients_dedupe(self, server):
+        client = ServeClient(server.url)
+        payload = payload_for(**{"io.buffer_size": 9 * 1024 * 1024})
+        before = client.stats()["evaluated"]
+        results = [None, None]
+
+        def hit(slot):
+            results[slot] = client.evaluate(payload)
+
+        threads = [threading.Thread(target=hit, args=(slot,)) for slot in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert all(r is not None and r["status"] == "ok" for r in results)
+        assert client.stats()["evaluated"] == before + 1
+
+    def test_evaluate_batch_streams_indexed_envelopes(self, server):
+        client = ServeClient(server.url)
+        payloads = [
+            payload_for(**{"io.buffer_size": (11 + i) * 1024 * 1024})
+            for i in range(3)
+        ]
+        envelopes = sorted(client.evaluate_batch(payloads), key=lambda e: e["index"])
+        assert [env["index"] for env in envelopes] == [0, 1, 2]
+        assert all(env["status"] == "ok" for env in envelopes)
+
+    def test_stats_counts_requests(self, server):
+        stats = ServeClient(server.url).stats()
+        assert stats["requests"] >= 1
+        assert "evaluated" in stats and "cache_hits" in stats
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.request.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_get_on_evaluate_is_405(self, server):
+        with pytest.raises(urllib.request.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/evaluate")
+        assert excinfo.value.code == 405
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/evaluate", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.request.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_invalid_scenario_is_an_error_envelope(self, server):
+        envelope = ServeClient(server.url).evaluate({"bogus": 1})
+        assert envelope["status"] == "error"
+
+    def test_client_rejects_unreachable_daemon(self):
+        client = ServeClient("http://127.0.0.1:1", timeout_s=2)
+        with pytest.raises(ServeError):
+            client.health()
+
+
+class TestJobQueue:
+    def test_submit_and_collect(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        queue = tmp_path / "queue"
+
+        async def main():
+            service = EvaluationService(store)
+            frontend = JobQueueFrontend(service, queue, poll_s=0.01)
+            await frontend.start()
+            job = await asyncio.to_thread(submit_job, queue, payload_for())
+            envelope = await asyncio.to_thread(collect_job, queue, job, timeout_s=120)
+            await frontend.stop()
+            return envelope
+
+        envelope = asyncio.run(main())
+        assert envelope["status"] == "ok"
+        assert envelope["job_id"]
+        assert not envelope["cached"]
+        # The response also lives in done/ for later collection.
+        done = queue / "done" / f"{envelope['job_id']}.json"
+        assert json.loads(done.read_text())["status"] == "ok"
+
+    def test_queue_shares_cache_with_direct_requests(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        queue = tmp_path / "queue"
+        payload = payload_for()
+        asyncio.run(EvaluationService(store).evaluate(payload))  # warm it
+
+        async def main():
+            service = EvaluationService(store)
+            frontend = JobQueueFrontend(service, queue, poll_s=0.01)
+            await frontend.start()
+            job = await asyncio.to_thread(submit_job, queue, payload)
+            envelope = await asyncio.to_thread(collect_job, queue, job, timeout_s=120)
+            await frontend.stop()
+            return envelope
+
+        assert asyncio.run(main())["cached"] is True
+
+    def test_malformed_job_yields_error_envelope(self, tmp_path):
+        queue = tmp_path / "queue"
+
+        async def main():
+            frontend = JobQueueFrontend(EvaluationService(), queue, poll_s=0.01)
+            await frontend.start()
+            (queue / "inbox").mkdir(parents=True, exist_ok=True)
+            (queue / "inbox" / "bad.json").write_text("{not json")
+            envelope = await asyncio.to_thread(
+                collect_job, queue, "bad", timeout_s=60
+            )
+            await frontend.stop()
+            return envelope
+
+        envelope = asyncio.run(main())
+        assert envelope["status"] == "error"
+        assert "unreadable" in envelope["error"]
+
+    def test_collect_times_out(self, tmp_path):
+        with pytest.raises(TimeoutError):
+            collect_job(tmp_path, "missing", timeout_s=0.1, poll_s=0.02)

@@ -1,0 +1,266 @@
+"""Tests for the pluggable store backends (dir, sharded, sqlite).
+
+The concurrency tests fork real processes: the whole point of the sharded
+and SQLite backends is that several writers — a daemon, a tuner, a shell
+``repro run`` — can share one cache without corrupting it.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.experiments.backends import (
+    BACKENDS,
+    DirectoryBackend,
+    ShardedJSONBackend,
+    SQLiteBackend,
+    open_backend,
+)
+from repro.experiments.store import ArtifactStore
+
+from test_experiment_store import make_result
+
+#: Fork (not spawn) so worker closures and tmp paths carry over cheaply;
+#: the suite only runs on POSIX hosts.
+_mp = multiprocessing.get_context("fork")
+
+
+def _make_backend(kind: str, tmp_path):
+    if kind == "dir":
+        return DirectoryBackend(tmp_path / "store")
+    if kind == "sharded":
+        return ShardedJSONBackend(tmp_path / "store")
+    return SQLiteBackend(tmp_path / "store.db")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    return _make_backend(request.param, tmp_path)
+
+
+class TestBackendContract:
+    def test_round_trip_and_delete(self, backend):
+        assert backend.get("fig07.json") is None
+        backend.put("fig07.json", '{"a": 1}')
+        assert backend.get("fig07.json") == '{"a": 1}'
+        backend.put("fig07.json", '{"a": 2}')
+        assert backend.get("fig07.json") == '{"a": 2}'
+        assert backend.delete("fig07.json") is True
+        assert backend.delete("fig07.json") is False
+        assert backend.get("fig07.json") is None
+
+    def test_keys_with_prefix(self, backend):
+        backend.put("fig07.json", "{}")
+        backend.put("manifest.json", "{}")
+        backend.put("tuning-points/abc.json", "{}")
+        backend.put("scenario-results/0f.json", "{}")
+        assert backend.keys() == sorted(
+            ["fig07.json", "manifest.json", "tuning-points/abc.json",
+             "scenario-results/0f.json"]
+        )
+        assert backend.keys("tuning-points/") == ["tuning-points/abc.json"]
+        assert backend.keys("scenario-results/") == ["scenario-results/0f.json"]
+
+    def test_exact_text_preserved(self, backend):
+        text = '{\n  "b": 1,\n  "a": [1, 2]\n}'
+        backend.put("x.json", text)
+        assert backend.get("x.json") == text
+
+    @pytest.mark.parametrize("bad", ["", "/abs.json", "../up.json", "a/../b.json", ".hidden"])
+    def test_rejects_escaping_keys(self, backend, bad):
+        with pytest.raises(ValueError):
+            backend.put(bad, "{}")
+
+    def test_lock_is_reentrant_across_keys(self, backend):
+        with backend.lock("manifest.json"):
+            backend.put("other.json", "{}")
+        assert backend.get("other.json") == "{}"
+
+    def test_describe_mentions_location(self, backend):
+        assert str(backend.root if hasattr(backend, "root") else backend.path) in (
+            backend.describe()
+        )
+
+
+class TestOpenBackend:
+    def test_plain_path_is_directory(self, tmp_path):
+        assert isinstance(open_backend(tmp_path / "a"), DirectoryBackend)
+
+    def test_explicit_prefixes(self, tmp_path):
+        assert isinstance(open_backend(f"dir:{tmp_path}/a"), DirectoryBackend)
+        assert isinstance(open_backend(f"sharded:{tmp_path}/b"), ShardedJSONBackend)
+        assert isinstance(open_backend(f"sqlite:{tmp_path}/c.db"), SQLiteBackend)
+
+    def test_reopens_sharded_root_without_prefix(self, tmp_path):
+        ShardedJSONBackend(tmp_path / "s").put("x.json", "{}")
+        reopened = open_backend(tmp_path / "s")
+        assert isinstance(reopened, ShardedJSONBackend)
+        assert reopened.get("x.json") == "{}"
+
+    def test_reopens_sqlite_file_without_prefix(self, tmp_path):
+        SQLiteBackend(tmp_path / "c.db").put("x.json", "{}")
+        reopened = open_backend(tmp_path / "c.db")
+        assert isinstance(reopened, SQLiteBackend)
+        assert reopened.get("x.json") == "{}"
+
+    def test_store_from_spec(self, tmp_path):
+        store = ArtifactStore.from_spec(f"sharded:{tmp_path}/s")
+        store.save(make_result(), scale=8.0, wall_time_s=0.1)
+        assert store.load("demo") == make_result()
+        assert isinstance(store.backend, ShardedJSONBackend)
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency
+# --------------------------------------------------------------------------- #
+
+
+def _hammer_same_key(kind: str, root: str, worker: int, writes: int) -> None:
+    backend = open_backend(root)
+    for index in range(writes):
+        backend.put(
+            "scenario-results/contended.json",
+            json.dumps({"worker": worker, "write": index, "pad": "x" * 2048}),
+        )
+
+
+def _hammer_store_shard(kind: str, root: str, worker: int) -> None:
+    store = ArtifactStore.from_spec(root)
+    for _ in range(5):
+        store.save(make_result("contended"), scale=8.0, wall_time_s=0.1)
+
+
+def _crash_holding_sharded_lock(root: str) -> None:
+    backend = ShardedJSONBackend(root)
+    lock = backend._lock_path("victim.json")
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(lock, os.O_CREAT | os.O_RDWR)
+    import fcntl
+
+    fcntl.flock(fd, fcntl.LOCK_EX)
+    os._exit(1)  # die without unlocking: flock must evaporate with us
+
+
+def _crash_mid_sharded_write(root: str) -> None:
+    backend = ShardedJSONBackend(root)
+    path = backend.path_hint("victim.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # The exact temp-file pattern the backend uses, abandoned mid-write.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text('{"torn": ', encoding="utf-8")
+    os._exit(1)
+
+
+def _crash_mid_sqlite_txn(path: str) -> None:
+    import sqlite3
+
+    conn = sqlite3.connect(path, timeout=30.0)
+    conn.execute("BEGIN IMMEDIATE")
+    conn.execute(
+        "INSERT OR REPLACE INTO blobs (key, value, updated_utc) "
+        "VALUES ('victim.json', '{\"torn\": ', '')"
+    )
+    os._exit(1)  # never commits: the transaction must roll back
+
+
+def _run(target, *args) -> int:
+    process = _mp.Process(target=target, args=args)
+    process.start()
+    process.join(timeout=60)
+    assert process.exitcode is not None, "worker hung"
+    return process.exitcode
+
+
+@pytest.mark.parametrize("kind", ["sharded", "sqlite"])
+class TestConcurrentWriters:
+    def test_same_key_from_many_processes(self, kind, tmp_path):
+        """N processes rewriting one key leave a complete, valid JSON value."""
+        backend = _make_backend(kind, tmp_path)
+        backend.put("seed.json", "{}")  # create the store up-front
+        root = f"{kind}:{backend.root if kind == 'sharded' else backend.path}"
+        workers = [
+            _mp.Process(target=_hammer_same_key, args=(kind, root, worker, 20))
+            for worker in range(4)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        final = backend.get("scenario-results/contended.json")
+        payload = json.loads(final)  # a torn write would fail to parse
+        assert payload["write"] == 19  # every worker's last write was #19
+        assert "x" * 2048 == payload["pad"]
+
+    def test_store_level_same_shard(self, kind, tmp_path):
+        """Two processes saving the same (id, scale) artifact stay consistent."""
+        backend = _make_backend(kind, tmp_path)
+        backend.put("seed.json", "{}")
+        root = f"{kind}:{backend.root if kind == 'sharded' else backend.path}"
+        workers = [
+            _mp.Process(target=_hammer_store_shard, args=(kind, root, worker))
+            for worker in range(2)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        store = ArtifactStore.from_spec(root)
+        assert store.load("contended") == make_result("contended")
+        manifest = store.read_manifest()
+        assert "contended" in manifest["experiments"]
+
+
+class TestCrashSafety:
+    def test_sharded_crash_mid_write_leaves_no_corrupt_shard(self, tmp_path):
+        backend = ShardedJSONBackend(tmp_path / "s")
+        backend.put("victim.json", '{"ok": true}')
+        assert _run(_crash_mid_sharded_write, str(backend.root)) == 1
+        # The abandoned temp file is invisible to readers and key listings.
+        assert backend.get("victim.json") == '{"ok": true}'
+        assert backend.keys() == ["victim.json"]
+        backend.put("victim.json", '{"ok": 2}')
+        assert backend.get("victim.json") == '{"ok": 2}'
+
+    def test_sharded_lock_dies_with_its_holder(self, tmp_path):
+        backend = ShardedJSONBackend(tmp_path / "s")
+        assert _run(_crash_holding_sharded_lock, str(backend.root)) == 1
+        # A crashed holder must not wedge later writers (flock semantics).
+        backend.put("victim.json", '{"after": 1}')
+        assert backend.get("victim.json") == '{"after": 1}'
+
+    def test_sqlite_crash_mid_transaction_rolls_back(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "c.db")
+        backend.put("victim.json", '{"ok": true}')
+        assert _run(_crash_mid_sqlite_txn, str(backend.path)) == 1
+        assert backend.get("victim.json") == '{"ok": true}'
+        backend.put("victim.json", '{"ok": 2}')
+        assert backend.get("victim.json") == '{"ok": 2}'
+
+
+class TestDefaultLayoutUnchanged:
+    def test_directory_backend_writes_flat_files(self, tmp_path):
+        """The default store keeps the historical one-file-per-artifact layout."""
+        store = ArtifactStore(tmp_path)
+        store.save(make_result(), scale=8.0, wall_time_s=0.1)
+        assert (tmp_path / "demo.json").is_file()
+        assert (tmp_path / "manifest.json").is_file()
+        assert isinstance(store.backend, DirectoryBackend)
+
+    def test_all_backends_serve_the_same_store_api(self, tmp_path):
+        specs = {
+            "dir": f"dir:{tmp_path}/d",
+            "sharded": f"sharded:{tmp_path}/s",
+            "sqlite": f"sqlite:{tmp_path}/c.db",
+        }
+        texts = {}
+        for kind, spec in specs.items():
+            store = ArtifactStore.from_spec(spec)
+            store.save(make_result(), scale=8.0, wall_time_s=0.1)
+            texts[kind] = store.backend.get("demo.json")
+        # The stored JSON text is identical across backends: the store
+        # serialises, backends only place blobs.
+        assert texts["dir"] == texts["sharded"] == texts["sqlite"]
