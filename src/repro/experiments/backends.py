@@ -167,12 +167,14 @@ class DirectoryBackend(StoreBackend):
 # --------------------------------------------------------------------------- #
 
 
-#: Locks currently held by this process: path -> (fd, pid, depth).  ``flock``
-#: on a *new* file descriptor blocks even against the same process, so a
-#: ``put`` issued inside ``lock()`` of the same key (the manifest refresh
-#: pattern) must re-enter the held lock instead of re-acquiring it.  The pid
-#: guards against entries inherited across ``fork``.
-_HELD_LOCKS: dict[str, tuple[int, int, int]] = {}
+#: Locks currently held by this process: path -> (fd, pid, tid, depth).
+#: ``flock`` on a *new* file descriptor blocks even against the same process,
+#: so a ``put`` issued inside ``lock()`` of the same key (the manifest
+#: refresh pattern) must re-enter the held lock instead of re-acquiring it.
+#: Re-entry is per *thread*, not per process: a second thread must block on
+#: the flock like any other writer, or two threads would share the critical
+#: section.  The pid guards against entries inherited across ``fork``.
+_HELD_LOCKS: dict[str, tuple[int, int, int, int]] = {}
 _HELD_GUARD = threading.Lock()
 
 
@@ -192,10 +194,11 @@ class _FileLock:
 
     def __enter__(self) -> "_FileLock":
         key = str(self.path)
+        me = (os.getpid(), threading.get_ident())
         with _HELD_GUARD:
             held = _HELD_LOCKS.get(key)
-            if held is not None and held[1] == os.getpid():
-                _HELD_LOCKS[key] = (held[0], held[1], held[2] + 1)
+            if held is not None and held[1:3] == me:
+                _HELD_LOCKS[key] = (held[0], held[1], held[2], held[3] + 1)
                 return self
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if fcntl is not None:
@@ -218,18 +221,19 @@ class _FileLock:
                             pass
                     time.sleep(0.01)
         with _HELD_GUARD:
-            _HELD_LOCKS[key] = (self._fd, os.getpid(), 1)
+            _HELD_LOCKS[key] = (self._fd, me[0], me[1], 1)
         return self
 
     def __exit__(self, *exc_info) -> None:
         key = str(self.path)
+        me = (os.getpid(), threading.get_ident())
         with _HELD_GUARD:
             held = _HELD_LOCKS.get(key)
-            if held is None or held[1] != os.getpid():
+            if held is None or held[1:3] != me:
                 return
-            fd, pid, depth = held
+            fd, pid, tid, depth = held
             if depth > 1:
-                _HELD_LOCKS[key] = (fd, pid, depth - 1)
+                _HELD_LOCKS[key] = (fd, pid, tid, depth - 1)
                 return
             del _HELD_LOCKS[key]
         if fcntl is not None:
@@ -248,7 +252,8 @@ class ShardedJSONBackend(StoreBackend):
 
     Keys are hashed into 256 two-hex-digit shard directories so a
     million-entry cache never puts a million files in one directory; the
-    ``/`` of namespaced keys is flattened to ``__`` inside the shard.  Every
+    ``/`` of namespaced keys is percent-encoded inside the shard so file
+    names decode back to keys losslessly.  Every
     write takes the key's file lock and lands via temp file + atomic rename,
     so two processes writing the same key serialise cleanly and a writer
     killed mid-write leaves (at worst) an orphaned ``*.tmp`` — never a
@@ -273,9 +278,23 @@ class ShardedJSONBackend(StoreBackend):
     def _shard(key: str) -> str:
         return hashlib.sha256(key.encode("utf-8")).hexdigest()[:2]
 
+    @staticmethod
+    def _flatten(key: str) -> str:
+        """Encode a key as one path component, losslessly.
+
+        ``%`` is escaped before ``/`` so the mapping is a bijection —
+        a plain ``"/" -> "__"`` substitution would make a key that
+        legitimately contains ``__`` decode to the wrong key.
+        """
+        return key.replace("%", "%25").replace("/", "%2F")
+
+    @staticmethod
+    def _unflatten(name: str) -> str:
+        return name.replace("%2F", "/").replace("%25", "%")
+
     def path_hint(self, key: str) -> Path:
         _check_key(key)
-        return self.root / self._shard(key) / key.replace("/", "__")
+        return self.root / self._shard(key) / self._flatten(key)
 
     def _lock_path(self, key: str) -> Path:
         return self.path_hint(key).with_name(self.path_hint(key).name + ".lock")
@@ -296,7 +315,9 @@ class ShardedJSONBackend(StoreBackend):
         path = self.path_hint(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         with _FileLock(self._lock_path(key)):
-            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+            )
             tmp.write_text(text, encoding="utf-8")
             tmp.replace(path)
 
@@ -318,7 +339,7 @@ class ShardedJSONBackend(StoreBackend):
             for path in shard.iterdir():
                 if path.suffix in (".lock", ".tmp") or not path.is_file():
                     continue
-                key = path.name.replace("__", "/")
+                key = self._unflatten(path.name)
                 if key.startswith(prefix):
                     found.append(key)
         return sorted(found)

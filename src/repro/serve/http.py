@@ -58,7 +58,14 @@ async def _read_request(
             break
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _BadRequest(
+            f"malformed Content-Length: {headers['content-length']!r}"
+        )
+    if length < 0:
+        raise _BadRequest(f"malformed Content-Length: {length}")
     if length > MAX_BODY_BYTES:
         raise _BadRequest(f"request body of {length} bytes exceeds the limit")
     body = await reader.readexactly(length) if length else b""

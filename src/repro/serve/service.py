@@ -126,20 +126,32 @@ class EvaluationService:
     # ------------------------------------------------------------------ #
 
     async def _flush_after_window(self) -> None:
-        """Collect requests for one window, then evaluate them as a batch."""
-        if self.batch_window_s > 0:
-            await asyncio.sleep(self.batch_window_s)
-        batch, self._pending = self._pending, []
-        if not batch:
-            return
-        self.stats["batches"] += 1
-        payloads = [scenario.to_dict() for _, scenario in batch]
-        try:
-            responses = await self._run_batch(payloads)
-        except Exception as error:  # pool died, cancellation, ...
-            responses = [_error_envelope(str(error))] * len(batch)
-        for (scenario_hash, scenario), response in zip(batch, responses):
-            self._settle(scenario_hash, scenario, dict(response))
+        """Collect requests for one window, then evaluate them as a batch.
+
+        Loops while requests keep arriving: a scenario submitted while a
+        batch is awaiting the worker pool lands in ``_pending`` at a moment
+        when ``evaluate`` will not schedule a new flush task (this one is
+        not done), so this task must sweep it up itself or the request
+        would strand forever.  The no-pending check and the final return
+        run without an intervening ``await``, so no request can slip in
+        between them and find a task that is neither collecting nor done.
+        """
+        while True:
+            if self.batch_window_s > 0:
+                await asyncio.sleep(self.batch_window_s)
+            batch, self._pending = self._pending, []
+            if not batch:
+                return
+            self.stats["batches"] += 1
+            payloads = [scenario.to_dict() for _, scenario in batch]
+            try:
+                responses = await self._run_batch(payloads)
+            except Exception as error:  # pool died, cancellation, ...
+                responses = [_error_envelope(str(error))] * len(batch)
+            for (scenario_hash, scenario), response in zip(batch, responses):
+                self._settle(scenario_hash, scenario, dict(response))
+            if not self._pending:
+                return
 
     async def _run_batch(self, payloads: list[dict]) -> list[dict]:
         """Evaluate one batch of payloads off the event loop."""

@@ -6,6 +6,7 @@ loop via ``asyncio.run`` — which also mirrors how the daemon itself runs.
 
 import asyncio
 import json
+import socket
 import threading
 import urllib.request
 
@@ -101,6 +102,42 @@ class TestEvaluationService:
         assert service.stats["batches"] == 1
         assert service.stats["evaluated"] == 3
 
+    def test_request_arriving_mid_batch_is_not_stranded(self):
+        """A scenario submitted while a batch is evaluating must still be
+        flushed: at that moment the flush task exists and is not done, so
+        ``evaluate`` schedules no new one — the running task has to sweep
+        up the late arrival itself."""
+        service = EvaluationService(batch_window_s=0.01)
+        real_run = service._run_batch
+
+        async def main():
+            batch_started = asyncio.Event()
+            batch_release = asyncio.Event()
+
+            async def gated_run(payloads):
+                batch_started.set()
+                await batch_release.wait()
+                return await real_run(payloads)
+
+            service._run_batch = gated_run
+            first = asyncio.ensure_future(service.evaluate(payload_for()))
+            await batch_started.wait()  # first batch is now "evaluating"
+            second = asyncio.ensure_future(
+                service.evaluate(
+                    payload_for(**{"io.buffer_size": 2 * 1024 * 1024})
+                )
+            )
+            await asyncio.sleep(0.05)  # second lands in _pending mid-batch
+            batch_release.set()
+            return await asyncio.wait_for(
+                asyncio.gather(first, second), timeout=60
+            )
+
+        first, second = asyncio.run(main())
+        assert first["status"] == "ok"
+        assert second["status"] == "ok"
+        assert service.stats["evaluated"] == 2
+
     def test_snapshot_reports_backend(self, tmp_path):
         service = EvaluationService(ArtifactStore(tmp_path))
         snapshot = service.snapshot()
@@ -181,6 +218,22 @@ class TestHttpFrontend:
     def test_invalid_scenario_is_an_error_envelope(self, server):
         envelope = ServeClient(server.url).evaluate({"bogus": 1})
         assert envelope["status"] == "error"
+
+    def test_malformed_content_length_is_400(self, server):
+        """A non-numeric Content-Length gets a 400, not a dropped socket."""
+        host, _, port = server.url.removeprefix("http://").partition(":")
+        with socket.create_connection((host, int(port)), timeout=30) as sock:
+            sock.sendall(
+                b"POST /evaluate HTTP/1.1\r\n"
+                b"Content-Length: abc\r\n\r\n"
+            )
+            response = b""
+            while b"\r\n" not in response:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        assert response.split(b"\r\n", 1)[0] == b"HTTP/1.1 400 Bad Request"
 
     def test_client_rejects_unreachable_daemon(self):
         client = ServeClient("http://127.0.0.1:1", timeout_s=2)

@@ -8,6 +8,8 @@ and SQLite backends is that several writers — a daemon, a tuner, a shell
 import json
 import multiprocessing
 import os
+import threading
+import time
 
 import pytest
 
@@ -67,6 +69,17 @@ class TestBackendContract:
         text = '{\n  "b": 1,\n  "a": [1, 2]\n}'
         backend.put("x.json", text)
         assert backend.get("x.json") == text
+
+    def test_keys_roundtrip_awkward_names(self, backend):
+        """Keys containing ``__`` or ``%`` must list back verbatim — a naive
+        ``/`` <-> ``__`` flattening would decode ``a__b.json`` as ``a/b.json``
+        and lose it from manifests and prune()."""
+        awkward = ["a__b.json", "scenario-results/a__b.json", "pct%2F.json"]
+        for key in awkward:
+            backend.put(key, "{}")
+        assert backend.keys() == sorted(awkward)
+        for key in awkward:
+            assert backend.get(key) == "{}"
 
     @pytest.mark.parametrize("bad", ["", "/abs.json", "../up.json", "a/../b.json", ".hidden"])
     def test_rejects_escaping_keys(self, backend, bad):
@@ -148,7 +161,7 @@ def _crash_mid_sharded_write(root: str) -> None:
     path = backend.path_hint("victim.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     # The exact temp-file pattern the backend uses, abandoned mid-write.
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
     tmp.write_text('{"torn": ', encoding="utf-8")
     os._exit(1)
 
@@ -193,6 +206,66 @@ class TestConcurrentWriters:
         payload = json.loads(final)  # a torn write would fail to parse
         assert payload["write"] == 19  # every worker's last write was #19
         assert "x" * 2048 == payload["pad"]
+
+    def test_lock_excludes_sibling_threads(self, kind, tmp_path):
+        """Re-entrancy is per thread: a second thread of the same process
+        must block on the lock, not piggy-back on the holder's entry."""
+        backend = _make_backend(kind, tmp_path)
+        order = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with backend.lock("k.json"):
+                entered.set()
+                release.wait(timeout=30)
+                order.append("holder-exit")
+
+        def contender():
+            assert entered.wait(timeout=30)
+            with backend.lock("k.json"):
+                order.append("contender-enter")
+
+        threads = [
+            threading.Thread(target=holder),
+            threading.Thread(target=contender),
+        ]
+        for thread in threads:
+            thread.start()
+        assert entered.wait(timeout=30)
+        time.sleep(0.2)  # give a buggy contender time to slip inside
+        assert "contender-enter" not in order
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert order == ["holder-exit", "contender-enter"]
+
+    def test_same_key_from_sibling_threads(self, kind, tmp_path):
+        """Threads of one process rewriting one key never tear the value."""
+        backend = _make_backend(kind, tmp_path)
+        errors = []
+
+        def work(worker):
+            try:
+                for index in range(25):
+                    backend.put(
+                        "scenario-results/contended.json",
+                        json.dumps(
+                            {"worker": worker, "write": index, "pad": "x" * 2048}
+                        ),
+                    )
+            except Exception as error:  # surfaced after join
+                errors.append(error)
+
+        threads = [threading.Thread(target=work, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        payload = json.loads(backend.get("scenario-results/contended.json"))
+        assert payload["write"] == 24
+        assert payload["pad"] == "x" * 2048
 
     def test_store_level_same_shard(self, kind, tmp_path):
         """Two processes saving the same (id, scale) artifact stay consistent."""
