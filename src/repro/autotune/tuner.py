@@ -16,11 +16,11 @@ re-parameterised tune skips every point already paid for.
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.autotune.objectives import Objective, default_objective, get_objective
+from repro.obs import elapsed_s, now, recorder as obs_recorder, span as obs_span
 from repro.autotune.space import AutotuneError, SearchSpace, canonical_point
 from repro.autotune.strategies import Strategy, get_strategy
 from repro.autotune.trace import TracePoint, TuningTrace
@@ -195,11 +195,13 @@ class TunerRun:
         values: list[float | None] = [None] * len(points)
         pending: list[dict] = []  # queued for the parallel fan-out
         recorded: list[dict] = []  # trace entries in proposal order
+        memo_hits = 0
         base = self._base(fidelity)
         for position, point in enumerate(points):
             memo_key = (canonical_point(point), fidelity)
             if memo_key in self._memo:
                 values[position] = self._memo[memo_key]
+                memo_hits += 1
                 continue
             if self.remaining() <= 0:
                 continue
@@ -231,12 +233,25 @@ class TunerRun:
                 pending.append(entry)
             recorded.append(entry)
 
+        rec = obs_recorder()
+        if rec is not None:
+            if memo_hits:
+                rec.inc("tune.points", memo_hits, source="memo")
+            store_hits = sum(1 for entry in recorded if entry["cached"])
+            if store_hits:
+                rec.inc("tune.points", store_hits, source="store")
+            if pending:
+                rec.inc("tune.points", len(pending), source="fresh")
+
         if pending:
-            outcomes = evaluate_candidates(
-                [entry["scenario"].to_dict() for entry in pending],
-                self.objective.name,
-                jobs=self._tuner.jobs,
-            )
+            with obs_span(
+                "tune.batch", cat="tuner", candidates=len(pending), fidelity=fidelity
+            ):
+                outcomes = evaluate_candidates(
+                    [entry["scenario"].to_dict() for entry in pending],
+                    self.objective.name,
+                    jobs=self._tuner.jobs,
+                )
             for entry, (ok, outcome) in zip(pending, outcomes):
                 if ok:
                     entry["value"] = outcome
@@ -329,9 +344,15 @@ class Tuner:
             strategy = get_strategy(strategy)
         run_seed = derive_seed(self.seed, "autotune", self.target.name, strategy.name)
         run = TunerRun(self, strategy, budget, run_seed)
-        start = time.perf_counter()
-        strategy.search(run)
-        run.trace.wall_time_s = round(time.perf_counter() - start, 6)
+        start = now()
+        with obs_span(
+            f"tune:{self.target.name}",
+            cat="tuner",
+            strategy=strategy.name,
+            budget=budget,
+        ):
+            strategy.search(run)
+        run.trace.wall_time_s = elapsed_s(start)
         if self.store is not None:
             self.store.save_tuning_trace(self.target.name, run.trace.to_dict())
         return run.trace

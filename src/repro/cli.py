@@ -21,6 +21,15 @@ Usage (after ``pip install -e .``)::
     python -m repro submit fig08 --scale 16    # evaluate through a running daemon
     python -m repro estimate --machine theta --nodes 1024 \
         --particles 25000 --layout soa         # one-off TAPIOCA vs MPI I/O estimate
+    python -m repro profile fig08 --scale 8    # per-phase time breakdown
+    python -m repro run fig08 --trace t.json   # ...any run with a Chrome trace
+    python -m repro bench --history            # BENCH_*.json trajectory table
+
+``run``, ``run-all``, ``tune`` and ``serve`` accept ``--trace FILE``: the
+observability recorder (:mod:`repro.obs`) is enabled for the process and a
+Chrome trace-event JSON (loadable in Perfetto / ``chrome://tracing``) is
+written on exit.  Tracing never changes simulated results — only host-side
+clocks and tallies are recorded.
 
 Every ``--out`` accepts a store spec, not just a directory: ``DIR`` or
 ``dir:DIR`` (the historical flat layout), ``sharded:DIR`` (fan-out over
@@ -146,6 +155,17 @@ def add_set_option(parser: argparse.ArgumentParser, help: str | None = None) -> 
     )
 
 
+def add_trace_option(parser: argparse.ArgumentParser, help: str | None = None) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=help
+        or "record metrics and timing spans, writing a Chrome trace-event "
+        "JSON (Perfetto-loadable) to FILE on exit",
+    )
+
+
 def _open_store(
     parser: argparse.ArgumentParser, spec: str | None
 ) -> ArtifactStore | None:
@@ -244,7 +264,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     ran, hits, failed = report.executed(), report.cache_hits(), report.failed()
     print(
         f"{len(report.outcomes)} experiments: {len(ran)} ran, "
-        f"{len(hits)} cache hits, {len(failed)} failed checks"
+        f"{len(hits)} cache hits, {len(failed)} failed checks "
+        f"({report.timing_summary()})"
     )
     if store is not None:
         print(f"artifacts in {store.root} (manifest: {store.manifest_path})")
@@ -411,10 +432,33 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    """Print the ``BENCH_*.json`` trajectory and gate on the throughput floor."""
+    from repro.experiments.bench import (
+        history_regressions,
+        history_row,
+        load_history,
+        render_history,
+    )
+
+    history = load_history(args.history_root)
+    if not history:
+        print(f"no BENCH_*.json artifacts under {args.history_root}", file=sys.stderr)
+        return 1
+    rows = [history_row(name, payload) for name, payload in history]
+    print(render_history(rows, as_csv=args.csv))
+    problems = history_regressions(rows)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the tracked benchmark suite and write a ``BENCH_*.json`` artifact."""
     from repro.experiments.bench import render_suite, run_serve_suite, run_suite
 
+    if args.history:
+        return _cmd_bench_history(args)
     progress = lambda message: print(f"bench: {message}", file=sys.stderr)  # noqa: E731
     if args.serve:
         payload = run_serve_suite(
@@ -589,6 +633,80 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: How the cost model's phase counters map onto the paper's terms: C1 is the
+#: network aggregation cost, C2 the storage write cost (Section IV of
+#: TAPIOCA, CLUSTER'17); overhead covers aggregator election + collectives,
+#: and overlapped is the pipelined portion hidden behind C1/C2.
+_PROFILE_PHASES = (
+    ("aggregation", "C1: network aggregation"),
+    ("io", "C2: storage write"),
+    ("overhead", "election + collectives"),
+    ("overlapped", "pipelined overlap"),
+)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one experiment under the recorder and print a time breakdown.
+
+    Two tables: the cost model's own predicted phase seconds (the paper's
+    C1/C2 terms plus overheads, summed over every estimate the run made)
+    and the host-side wall seconds of the instrumented spans, followed by
+    the run's headline counters.
+    """
+    from repro.obs.recorder import collecting
+
+    overrides = _parse_set_args(args.parser, args.set)
+    with collecting(args.trace) as rec:
+        try:
+            evaluation = evaluate(
+                args.experiment, scale=args.scale, jobs=1, overrides=overrides
+            )
+        except ScenarioError as error:
+            args.parser.error(str(error))
+        spans = rec.span_seconds()
+        counters: dict[tuple[str, tuple], float] = {}
+        for metric in rec.metrics():
+            snap = metric.snapshot()
+            if snap["kind"] == "counter":
+                labels = tuple(sorted(snap["labels"].items()))
+                counters[(snap["name"], labels)] = snap["value"]
+        trace_path = rec.flush()
+
+    def counter(name: str, **labels: str) -> float:
+        return counters.get((name, tuple(sorted(labels.items()))), 0.0)
+
+    print(f"profile: {args.experiment} (scale {args.scale:g})")
+    estimates = counter("model.estimates")
+    print(
+        f"\nmodel-predicted phase seconds "
+        f"(summed over {estimates:.0f} cost-model estimates):"
+    )
+    model_total = sum(
+        counter("model.phase_seconds", phase=phase) for phase, _ in _PROFILE_PHASES
+    )
+    for phase, paper_term in _PROFILE_PHASES:
+        seconds = counter("model.phase_seconds", phase=phase)
+        share = 100.0 * seconds / model_total if model_total else 0.0
+        print(f"  {phase:<12} {paper_term:<26} {seconds:>10.4f} s  {share:5.1f}%")
+
+    print("\nhost-side span seconds (wall time of the instrumented phases):")
+    for name in sorted(spans, key=spans.get, reverse=True):
+        print(f"  {name:<40} {spans[name]:>10.4f} s")
+
+    print("\ncounters:")
+    for (name, labels), value in sorted(counters.items()):
+        if name in ("model.phase_seconds",):
+            continue
+        suffix = (
+            "{" + ",".join(f"{k}={v}" for k, v in labels) + "}" if labels else ""
+        )
+        print(f"  {name + suffix:<44} {value:>14,.0f}")
+
+    if trace_path:
+        print(f"\ntrace written to {trace_path}")
+    return 0 if evaluation.result.all_checks_pass() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -614,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
         run_parser, help="artifact store to read/write the cached result"
     )
     add_set_option(run_parser)
+    add_trace_option(run_parser)
     run_parser.set_defaults(func=_cmd_run, parser=run_parser)
 
     run_all_parser = subparsers.add_parser(
@@ -648,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
         run_all_parser,
         help="scenario override applied to every experiment; may be repeated",
     )
+    add_trace_option(run_all_parser)
     run_all_parser.set_defaults(func=_cmd_run_all, parser=run_all_parser)
 
     report_parser = subparsers.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -759,6 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin a scenario field by dotted path before tuning; "
         "searched fields cannot be pinned; may be repeated",
     )
+    add_trace_option(tune_parser)
     tune_parser.set_defaults(func=_cmd_tune, parser=tune_parser)
 
     bench_parser = subparsers.add_parser(
@@ -845,6 +966,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when fast-path placement throughput drops below "
         "RATE candidates/s on either machine (the CI regression floor)",
     )
+    bench_parser.add_argument(
+        "--history",
+        action="store_true",
+        help="print the trajectory across every BENCH_*.json instead of "
+        "benchmarking; exits 1 if the latest placement throughput is below "
+        "the regression floor",
+    )
+    bench_parser.add_argument(
+        "--history-root",
+        default=".",
+        metavar="DIR",
+        help="where to look for BENCH_*.json (default: the current directory)",
+    )
+    bench_parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the --history trajectory as CSV instead of a table",
+    )
     bench_parser.set_defaults(func=_cmd_bench, parser=bench_parser)
 
     serve_parser = subparsers.add_parser(
@@ -882,6 +1021,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long to collect requests before dispatching a batch "
         "(default: 0.01)",
     )
+    add_trace_option(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve, parser=serve_parser)
 
     submit_parser = subparsers.add_parser(
@@ -933,14 +1073,62 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_parser.add_argument("--aggregators", type=_positive_int, default=192)
     estimate_parser.add_argument("--buffer-mib", type=_positive_int, default=16)
     estimate_parser.set_defaults(func=_cmd_estimate)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run one experiment under the recorder and print a per-phase "
+        "time breakdown (paper cost-model terms vs host wall time)",
+    )
+    profile_parser.add_argument(
+        "experiment", type=_experiment_id, metavar="EXPERIMENT"
+    )
+    add_scale_option(profile_parser)
+    add_set_option(profile_parser)
+    add_trace_option(
+        profile_parser,
+        help="also write the run's Chrome trace-event JSON to FILE",
+    )
+    # The profile command owns its recorder (a fresh one per run), so the
+    # shared --trace enable/flush in main() must not double-handle it.
+    profile_parser.set_defaults(func=_cmd_profile, parser=profile_parser, own_trace=True)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    ``--trace FILE`` (on run, run-all, tune and serve) is handled here so
+    every subcommand shares one lifecycle: enable the recorder before the
+    command runs, flush the Chrome trace after it finishes — including on
+    Ctrl-C against a daemon.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    own_trace = getattr(args, "own_trace", False)
+    enabled_here = trace_path is not None and not own_trace
+    if enabled_here:
+        from repro.obs.recorder import enable
+
+        enable(trace_path)
+    try:
+        return args.func(args)
+    finally:
+        # Flush whichever recorder is active — enabled above via --trace
+        # or at import time via REPRO_TRACE=<file> — unless the command
+        # manages its own recorder lifecycle (profile).  A recorder this
+        # call enabled is torn down again so in-process callers (tests,
+        # notebooks) do not leak tracing into later invocations.
+        if not own_trace:
+            from repro.obs.recorder import disable, recorder as _get_recorder
+
+            rec = _get_recorder()
+            if rec is not None:
+                written = rec.flush()
+                if written:
+                    print(f"trace written to {written}", file=sys.stderr)
+                if enabled_here:
+                    disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

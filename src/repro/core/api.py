@@ -35,7 +35,6 @@ partition elected and why.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
@@ -45,6 +44,7 @@ from repro.core.partitioning import Partition, build_partitions
 from repro.core.placement import PlacementResult, place_aggregators
 from repro.core.topology_iface import TopologyInterface
 from repro.machine.machine import Machine
+from repro.obs import elapsed_s, now, recorder as obs_recorder, span as obs_span
 from repro.storage.lustre import LustreStripeConfig
 from repro.topology.mapping import RankMapping, block_mapping
 from repro.utils.validation import require, require_positive
@@ -245,21 +245,26 @@ def _evaluate_scenario(
                 scenario=scenario,
             )
 
-    start = time.perf_counter()
-    if jobs > 1:
-        # Route through the shared persistent pool: a follow-up evaluation
-        # (or a daemon batch) lands on warm workers.
-        from repro.experiments.runner import submit_scenario_batch
+    start = now()
+    with obs_span("evaluate.scenario", cat="api", scenario=scenario.id):
+        if jobs > 1:
+            # Route through the shared persistent pool: a follow-up evaluation
+            # (or a daemon batch) lands on warm workers.
+            from repro.experiments.runner import submit_scenario_batch
 
-        response = submit_scenario_batch([scenario.to_dict()], jobs=jobs).result()[0]
-        if response["status"] != "ok":
-            from repro.scenario.spec import ScenarioError
+            response = submit_scenario_batch([scenario.to_dict()], jobs=jobs).result()[0]
+            if response["status"] != "ok":
+                from repro.scenario.spec import ScenarioError
 
-            raise ScenarioError(response["error"])
-        result = ExperimentResult.from_dict(response["result"])
-    else:
-        result = Simulation(scenario).run()
-    wall_time_s = time.perf_counter() - start
+                raise ScenarioError(response["error"])
+            result = ExperimentResult.from_dict(response["result"])
+        else:
+            result = Simulation(scenario).run()
+    wall_time_s = elapsed_s(start)
+    rec = obs_recorder()
+    if rec is not None:
+        rec.inc("api.scenario_evaluations")
+        rec.observe("api.scenario_seconds", wall_time_s)
 
     if store is not None:
         store.save_scenario_result(

@@ -25,6 +25,7 @@ from typing import Mapping, Protocol
 import numpy as np
 
 from repro.core.topology_iface import TopologyInterface
+from repro.obs import recorder as obs_recorder
 from repro.utils.fastpath import fastpath_enabled
 from repro.utils.validation import require_non_negative
 
@@ -169,10 +170,16 @@ class AggregationCostModel:
         if not candidates:
             raise ValueError("no candidates to evaluate")
         breakdowns = None
+        path = "scalar"
         if self.contention is None and fastpath_enabled():
             breakdowns = self._batched_breakdowns(candidates, volumes)
+            if breakdowns is not None:
+                path = "fast"
         if breakdowns is None:
             breakdowns = [self.evaluate(c, volumes) for c in candidates]
+        rec = obs_recorder()
+        if rec is not None:
+            rec.inc("costmodel.candidates", len(candidates), path=path)
         winner = min(breakdowns, key=lambda b: (b.total, b.candidate))
         return winner.candidate, breakdowns
 

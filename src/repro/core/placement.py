@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.cost_model import AggregationCostModel, CostBreakdown
 from repro.core.partitioning import Partition
 from repro.core.topology_iface import TopologyInterface
+from repro.obs import recorder as obs_recorder, span as obs_span
 from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
@@ -145,28 +146,34 @@ def place_aggregators(
     model = AggregationCostModel(iface, contention=contention)
     result = PlacementResult(strategy=strategy, aggregators=[])
     rng = seeded_rng(seed) if strategy == "random" else None
-    for original in partitions:
-        partition = (
-            _node_level_partition(original, iface)
-            if granularity == "node"
-            else original
-        )
-        if strategy == "topology-aware":
-            winner, breakdown = _topology_aware(partition, model)
-            result.breakdowns[partition.index] = breakdown
-        elif strategy == "shortest-io":
-            winner, breakdown = _shortest_io(partition, iface, model)
-            result.breakdowns[partition.index] = breakdown
-        elif strategy == "max-volume":
-            winner = _max_volume(partition)
-        elif strategy == "rank-order":
-            winner = partition.ranks[0]
-        elif strategy == "random":
-            assert rng is not None
-            winner = int(partition.ranks[rng.integers(0, partition.size)])
-        else:
-            raise ValueError(f"unknown placement strategy {strategy!r}")
-        result.aggregators.append(winner)
+    with obs_span(
+        "placement", cat="core", strategy=strategy, partitions=len(partitions)
+    ):
+        for original in partitions:
+            partition = (
+                _node_level_partition(original, iface)
+                if granularity == "node"
+                else original
+            )
+            if strategy == "topology-aware":
+                winner, breakdown = _topology_aware(partition, model)
+                result.breakdowns[partition.index] = breakdown
+            elif strategy == "shortest-io":
+                winner, breakdown = _shortest_io(partition, iface, model)
+                result.breakdowns[partition.index] = breakdown
+            elif strategy == "max-volume":
+                winner = _max_volume(partition)
+            elif strategy == "rank-order":
+                winner = partition.ranks[0]
+            elif strategy == "random":
+                assert rng is not None
+                winner = int(partition.ranks[rng.integers(0, partition.size)])
+            else:
+                raise ValueError(f"unknown placement strategy {strategy!r}")
+            result.aggregators.append(winner)
+    rec = obs_recorder()
+    if rec is not None:
+        rec.inc("placement.partitions", len(partitions), strategy=strategy)
     return result
 
 

@@ -31,6 +31,7 @@ from repro.core.cost_model import AggregationCostModel
 from repro.core.partitioning import Partition, build_partitions
 from repro.core.placement import PlacementResult, place_aggregators
 from repro.core.topology_iface import TopologyInterface
+from repro.obs import recorder as obs_recorder
 from repro.simmpi.engine import Event
 from repro.simmpi.errors import SimMPIError
 from repro.simmpi.request import Request
@@ -198,6 +199,10 @@ class TapiocaIO:
                     request = self.file.iwrite_at(flush.file_offset, data)
                     pending_flush[buffer_id].append(request)
                     self.flush_count += 1
+                    rec = obs_recorder()
+                    if rec is not None:
+                        rec.inc("sim.buffer_fills", io="tapioca")
+                        rec.inc("sim.flush_bytes", flush.nbytes, io="tapioca")
                 if depth == 1:
                     # No pipelining: wait for this round's flush immediately.
                     yield from Request.wait_all(ctx.env, pending_flush[buffer_id])

@@ -18,19 +18,22 @@ commits.
 
 from __future__ import annotations
 
+import json
+import re
 import time
+from pathlib import Path
 from typing import Callable
 
+from repro.obs.clock import timed as _timed
 from repro.utils.fastpath import fastpath_disabled
 
 #: Schema tag written into every benchmark artifact.
 BENCH_SCHEMA = "repro-bench-v1"
 
-
-def _timed(fn: Callable[[], object]) -> tuple[object, float]:
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
+#: ``repro bench --history`` fails (exit 1) if the newest artifact's fast
+#: placement throughput has regressed below this floor — the same floor CI
+#: enforces on fresh runs.
+PLACEMENT_FLOOR_CANDIDATES_PER_S = 1500.0
 
 
 def _fresh_state() -> None:
@@ -356,3 +359,123 @@ def render_suite(payload: dict) -> str:
             f"{serve['dedup']['evaluations']} evaluation)"
         )
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# History (``repro bench --history``)
+# --------------------------------------------------------------------------- #
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def load_history(root: str | Path = ".") -> list[tuple[str, dict]]:
+    """Every ``BENCH_<n>.json`` under ``root``, ordered by ``n``.
+
+    Returns ``(filename, payload)`` pairs; unparseable files are skipped
+    (the history should survive one corrupt artifact).
+    """
+    entries: list[tuple[int, str, dict]] = []
+    for path in Path(root).iterdir():
+        match = _BENCH_NAME.match(path.name)
+        if match is None:
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        entries.append((int(match.group(1)), path.name, payload))
+    return [(name, payload) for _, name, payload in sorted(entries)]
+
+
+def history_row(name: str, payload: dict) -> dict:
+    """One trajectory point: the headline number of each benchmark.
+
+    Keys are ``None`` where an artifact predates a benchmark (the serve
+    suite, for instance, only exists from ``BENCH_6`` on).
+    """
+    results = payload.get("results", {})
+
+    def get(*keys, default=None):
+        node = results
+        for key in keys:
+            if not isinstance(node, dict) or key not in node:
+                return default
+            node = node[key]
+        return node
+
+    return {
+        "name": name,
+        "git_sha": payload.get("git_sha") or "?",
+        "created_utc": payload.get("created_utc") or "?",
+        "placement_cand_per_s": get("placement_theta", "fast", "candidates_per_s"),
+        "placement_speedup": get("placement_theta", "speedup"),
+        "tune_points_per_s": get("tune", "fast", "points_per_s"),
+        "run_all_wall_s": get("run_all", "wall_s"),
+        "serve_cold_req_per_s": get("serve", "cold", "requests_per_s"),
+    }
+
+
+def render_history(rows: list[dict], *, as_csv: bool = False) -> str:
+    """The benchmark trajectory as a table (or CSV with ``as_csv``)."""
+    columns = [
+        ("name", "artifact", "{}"),
+        ("git_sha", "commit", "{}"),
+        ("placement_cand_per_s", "placement cand/s", "{:,.0f}"),
+        ("tune_points_per_s", "tune points/s", "{:,.1f}"),
+        ("run_all_wall_s", "run-all wall s", "{:.2f}"),
+        ("serve_cold_req_per_s", "serve req/s", "{:,.1f}"),
+    ]
+
+    def cell(row: dict, key: str, fmt: str) -> str:
+        value = row.get(key)
+        if value is None:
+            return "-"
+        return fmt.format(value)
+
+    if as_csv:
+        lines = [",".join(header for _, header, _ in columns)]
+        for row in rows:
+            lines.append(
+                ",".join(cell(row, key, fmt).replace(",", "") for key, _, fmt in columns)
+            )
+        return "\n".join(lines)
+
+    table = [[header for _, header, _ in columns]]
+    for row in rows:
+        table.append([cell(row, key, fmt) for key, _, fmt in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    rendered = []
+    for index, line in enumerate(table):
+        rendered.append(
+            "  ".join(text.rjust(widths[i]) for i, text in enumerate(line))
+        )
+        if index == 0:
+            rendered.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    return "\n".join(rendered)
+
+
+def history_regressions(
+    rows: list[dict], *, floor: float = PLACEMENT_FLOOR_CANDIDATES_PER_S
+) -> list[str]:
+    """Human-readable regression messages for the *latest* trajectory point.
+
+    The only hard gate is the placement throughput floor — the number the
+    fast path exists to protect.  Serve-only artifacts carry no placement
+    number, so the gate applies to the newest row that has one.  An empty
+    list means the history is clean.
+    """
+    latest = next(
+        (row for row in reversed(rows) if row.get("placement_cand_per_s") is not None),
+        None,
+    )
+    if latest is None:
+        return []
+    placement = latest["placement_cand_per_s"]
+    if placement < floor:
+        return [
+            f"{latest['name']}: placement throughput {placement:,.0f} cand/s is "
+            f"below the {floor:,.0f} cand/s floor"
+        ]
+    return []

@@ -24,7 +24,6 @@ before the first task lands.
 from __future__ import annotations
 
 import atexit
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -32,6 +31,8 @@ from typing import Callable, Mapping
 
 from repro.experiments.results import ExperimentResult
 from repro.experiments.store import ArtifactStore
+from repro.obs import elapsed_s, now, recorder as obs_recorder, span as obs_span
+from repro.obs.recorder import collecting as obs_collecting
 
 
 @dataclass
@@ -79,8 +80,34 @@ class RunReport:
         return not self.failed()
 
     def total_wall_time_s(self) -> float:
-        """Sum of the executed experiments' wall times (the serial cost)."""
+        """Sum of the executed experiments' wall times (the serial cost).
+
+        Cached rows are excluded — their ``wall_time_s`` is the *original*
+        run's time, not a cost paid by this sweep.  Use
+        :meth:`fresh_wall_time_s` / :meth:`cached_wall_time_s` when the
+        distinction should be reported explicitly.
+        """
+        return self.fresh_wall_time_s()
+
+    def fresh_wall_time_s(self) -> float:
+        """Wall time actually spent simulating in this sweep (serial sum)."""
         return sum(o.wall_time_s for o in self.outcomes if not o.cached)
+
+    def cached_wall_time_s(self) -> float:
+        """Original-run wall time represented by this sweep's cache hits."""
+        return sum(o.wall_time_s for o in self.outcomes if o.cached)
+
+    def timing_summary(self) -> str:
+        """Human-readable wall-time line separating fresh from cached work.
+
+        ``"fresh 4.21s"`` with no hits; with hits the cached rows' original
+        cost is spelled out: ``"fresh 4.21s + 3 cached (orig 2.96s)"``.
+        """
+        fresh = f"fresh {self.fresh_wall_time_s():.2f}s"
+        hits = self.cache_hits()
+        if not hits:
+            return fresh
+        return f"{fresh} + {len(hits)} cached (orig {self.cached_wall_time_s():.2f}s)"
 
 
 def _warm_worker(machine_specs: tuple = ()) -> None:
@@ -147,15 +174,34 @@ def _submit_retrying(pool_args: tuple, fn, /, *args):
 
 
 def _execute(
-    experiment_id: str, scale: float, overrides: dict | None = None
-) -> tuple[str, ExperimentResult, float]:
-    """Worker entry point: run one experiment and time it (picklable)."""
+    experiment_id: str,
+    scale: float,
+    overrides: dict | None = None,
+    collect_obs: bool = False,
+) -> tuple[str, ExperimentResult, float, dict | None]:
+    """Worker entry point: run one experiment and time it (picklable).
+
+    With ``collect_obs`` a fresh task-local recorder captures this run's
+    spans and metric deltas; the exported state rides back alongside the
+    result for the parent to merge (worker processes cannot share the
+    parent's recorder).  Without it, any recorder already installed in
+    this process (the sequential path) records as usual.
+    """
     # Imported here so forked/spawned workers resolve the registry themselves.
     from repro.experiments.harness import _run_registered
 
-    start = time.perf_counter()
-    result = _run_registered(experiment_id, scale, overrides)
-    return experiment_id, result, time.perf_counter() - start
+    if collect_obs:
+        with obs_collecting() as rec:
+            start = now()
+            with rec.span(f"run:{experiment_id}", "runner", scale=scale):
+                result = _run_registered(experiment_id, scale, overrides)
+            wall = elapsed_s(start)
+            state = rec.export_state()
+        return experiment_id, result, wall, state
+    start = now()
+    with obs_span(f"run:{experiment_id}", cat="runner", scale=scale):
+        result = _run_registered(experiment_id, scale, overrides)
+    return experiment_id, result, elapsed_s(start), None
 
 
 def _run_scenario(payload: dict) -> dict:
@@ -223,10 +269,26 @@ def _evaluate_candidate(payload: dict, objective: str) -> tuple[bool, float | st
 
 
 def _evaluate_candidate_batch(
-    payloads: list[dict], objective: str
-) -> list[tuple[bool, float | str]]:
-    """Worker entry point: score a chunk of candidates in one task."""
-    return [_evaluate_candidate(payload, objective) for payload in payloads]
+    payloads: list[dict], objective: str, collect_obs: bool = False
+):
+    """Worker entry point: score a chunk of candidates in one task.
+
+    Returns the per-candidate results; with ``collect_obs`` a
+    ``(results, obs_state)`` pair instead, where ``obs_state`` is the
+    chunk's task-local recorder export for the parent to merge.
+    """
+    if collect_obs:
+        with obs_collecting() as rec:
+            with rec.span("tune.candidate_chunk", "tuner", candidates=len(payloads)):
+                results = [_evaluate_candidate(p, objective) for p in payloads]
+                rec.inc("tune.candidates", len(payloads))
+            return results, rec.export_state()
+    with obs_span("tune.candidate_chunk", cat="tuner", candidates=len(payloads)):
+        results = [_evaluate_candidate(payload, objective) for payload in payloads]
+    rec = obs_recorder()
+    if rec is not None:
+        rec.inc("tune.candidates", len(payloads))
+    return results
 
 
 def _machine_spec_payloads(payloads: list[dict], limit: int = 8) -> tuple:
@@ -274,13 +336,24 @@ def evaluate_candidates(
         for start in range(0, len(payloads), chunk_size)
     ]
     pool_args = (jobs, _machine_spec_payloads(payloads))
+    rec = obs_recorder()
+    collect = rec is not None
     futures = [
-        _submit_retrying(pool_args, _evaluate_candidate_batch, chunk, objective)
+        _submit_retrying(
+            pool_args, _evaluate_candidate_batch, chunk, objective, collect
+        )
         for chunk in chunks
     ]
     results: list[tuple[bool, float | str]] = []
     for future in futures:
-        results.extend(future.result())
+        outcome = future.result()
+        if collect:
+            chunk_results, state = outcome
+            if rec is not None and state is not None:
+                rec.merge_state(state)
+            results.extend(chunk_results)
+        else:
+            results.extend(outcome)
     return results
 
 
@@ -341,6 +414,12 @@ def run_experiments(
 
     def record(outcome: RunOutcome) -> None:
         outcomes[outcome.experiment_id] = outcome
+        rec = obs_recorder()
+        if rec is not None:
+            rec.inc(
+                "runner.experiments",
+                source="cached" if outcome.cached else "fresh",
+            )
         if on_outcome is not None:
             on_outcome(outcome)
 
@@ -368,10 +447,19 @@ def run_experiments(
 
     if to_run and not stop:
         try:
-            if jobs <= 1 or len(to_run) == 1:
-                _run_sequential(to_run, scale, overrides, store, fail_fast, record)
-            else:
-                _run_parallel(to_run, scale, overrides, jobs, store, fail_fast, record)
+            with obs_span(
+                "runner.sweep",
+                cat="runner",
+                experiments=len(to_run),
+                scale=scale,
+                jobs=jobs,
+            ):
+                if jobs <= 1 or len(to_run) == 1:
+                    _run_sequential(to_run, scale, overrides, store, fail_fast, record)
+                else:
+                    _run_parallel(
+                        to_run, scale, overrides, jobs, store, fail_fast, record
+                    )
         finally:
             # Artifacts are saved with the manifest refresh deferred; one
             # rebuild at the end keeps an N-experiment sweep O(N) reads.
@@ -409,7 +497,7 @@ def _run_sequential(
     record: Callable[[RunOutcome], None],
 ) -> None:
     for experiment_id in ids:
-        _, result, wall_time = _execute(experiment_id, scale, overrides)
+        _, result, wall_time, _state = _execute(experiment_id, scale, overrides)
         _persist(store, result, scale, wall_time, overrides)
         record(RunOutcome(experiment_id, result, wall_time))
         if fail_fast and not result.all_checks_pass():
@@ -429,15 +517,20 @@ def _run_parallel(
     # after the sweep: a follow-up run-all or tuning batch reuses the warm
     # workers instead of re-importing the world.
     pool_args = (jobs, ())
+    rec = obs_recorder()
+    collect = rec is not None
     pending = {
-        _submit_retrying(pool_args, _execute, eid, scale, overrides) for eid in ids
+        _submit_retrying(pool_args, _execute, eid, scale, overrides, collect)
+        for eid in ids
     }
     failed = False
     try:
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                experiment_id, result, wall_time = future.result()
+                experiment_id, result, wall_time, state = future.result()
+                if state is not None and rec is not None:
+                    rec.merge_state(state)
                 _persist(store, result, scale, wall_time, overrides)
                 record(RunOutcome(experiment_id, result, wall_time))
                 if fail_fast and not result.all_checks_pass():

@@ -31,6 +31,7 @@ from typing import Any, Generator
 
 from repro.iolib.aggregators import select_default_aggregators
 from repro.iolib.hints import MPIIOHints
+from repro.obs import recorder as obs_recorder
 from repro.simmpi.engine import Event
 from repro.simmpi.errors import SimMPIError
 from repro.simmpi.world import RankContext, SimWorld
@@ -306,6 +307,10 @@ class TwoPhaseCollectiveIO:
                         )
                         yield from self.file.write_at(flush.file_offset, data)
                         self.flush_count += 1
+                        rec = obs_recorder()
+                        if rec is not None:
+                            rec.inc("sim.buffer_fills", io="twophase")
+                            rec.inc("sim.flush_bytes", flush.nbytes, io="twophase")
             yield from ctx.comm.barrier()
         return bytes_contributed
 

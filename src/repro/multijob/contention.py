@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.obs import recorder as obs_recorder
 from repro.topology.base import Topology
 from repro.topology.mapping import RankMapping
 from repro.utils.validation import require, require_positive
@@ -120,7 +121,9 @@ class ContentionLedger:
         rate = {flow_id: 0.0 for flow_id in ids}
         used = {key: 0.0 for key in self.resources}
         unfrozen = set(ids)
+        iterations = 0
         while unfrozen:
+            iterations += 1
             # How far can every unfrozen rate rise together?
             step = min(
                 self.flows[flow_id].demand - rate[flow_id] for flow_id in unfrozen
@@ -158,6 +161,10 @@ class ContentionLedger:
                 # Every remaining flow advanced to its demand cap.
                 break
             unfrozen -= newly_frozen
+        rec = obs_recorder()
+        if rec is not None:
+            rec.inc("sim.contention_iterations", iterations)
+            rec.inc("sim.contention_allocations")
         return rate
 
     def utilization(self, rates: Mapping[str, float]) -> dict[tuple, float]:

@@ -1,0 +1,175 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text format.
+
+Two standard wire formats, hand-rendered from :mod:`repro.obs` state so
+the repo stays stdlib-only:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format (``{"traceEvents": [...]}``) loadable in Perfetto or
+  ``chrome://tracing``.  Spans become complete (``"ph": "X"``) events with
+  microsecond timestamps; counters become ``"C"`` samples so totals show
+  up as tracks.
+* :func:`prometheus_text` — the text exposition format (version 0.0.4)
+  served by the daemon's ``GET /metrics``: ``# HELP``/``# TYPE`` headers,
+  ``_total`` counters, and cumulative ``_bucket{le="..."}`` histograms.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.obs.recorder import Recorder
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_snapshots(metrics: Iterable) -> list[dict]:
+    """Normalise metric objects and raw snapshot dicts to snapshot dicts."""
+    snapshots = []
+    for metric in metrics:
+        snapshots.append(metric if isinstance(metric, Mapping) else metric.snapshot())
+    return snapshots
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event JSON
+# --------------------------------------------------------------------------- #
+
+
+def chrome_trace_events(recorder: Recorder) -> list[dict]:
+    """The recorder's state as a list of trace-event dicts.
+
+    Spans map to complete events (``ph="X"``, ``ts``/``dur`` in integer
+    microseconds); counter metrics map to one final ``ph="C"`` sample each
+    so their totals render as counter tracks.
+    """
+    events: list[dict] = []
+    last_end = 0.0
+    for record in recorder.spans:
+        event = {
+            "name": record["name"],
+            "cat": record.get("cat", "repro"),
+            "ph": "X",
+            "ts": int(record["start"] * 1_000_000),
+            "dur": max(1, int((record["end"] - record["start"]) * 1_000_000)),
+            "pid": record.get("pid", recorder.pid),
+            "tid": record.get("tid", 0),
+        }
+        if record.get("args"):
+            event["args"] = record["args"]
+        events.append(event)
+        last_end = max(last_end, record["end"])
+    counter_ts = int(last_end * 1_000_000)
+    for snap in _metric_snapshots(recorder.metrics()):
+        if snap["kind"] != "counter":
+            continue
+        label_suffix = ",".join(f"{k}={v}" for k, v in sorted(snap["labels"].items()))
+        name = snap["name"] + (f"[{label_suffix}]" if label_suffix else "")
+        events.append(
+            {
+                "name": name,
+                "cat": "metric",
+                "ph": "C",
+                "ts": counter_ts,
+                "pid": recorder.pid,
+                "args": {"value": snap["value"]},
+            }
+        )
+    return events
+
+
+def chrome_trace(recorder: Recorder) -> dict:
+    """The full Chrome trace document: ``{"traceEvents": [...], ...}``."""
+    return {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str | Path, recorder: Recorder) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(recorder), sort_keys=True))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _NAME_SANITIZER.sub("_", name)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_NAME_SANITIZER.sub("_", key)}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(metrics: Iterable, prefix: str = "repro_") -> str:
+    """Render metrics in the Prometheus text exposition format (0.0.4).
+
+    Args:
+        metrics: metric objects (anything with ``snapshot()``) and/or raw
+            snapshot dicts, e.g. ``recorder().metrics()`` plus the serve
+            daemon's own counters.
+        prefix: prepended to every (sanitised) metric name.
+
+    Counters are exposed as ``<name>_total``; histograms as cumulative
+    ``<name>_bucket{le="..."}`` series plus ``_sum`` and ``_count``.
+    Families sharing a name emit one ``# HELP``/``# TYPE`` header.
+    """
+    families: dict[str, list[dict]] = {}
+    kinds: dict[str, str] = {}
+    for snap in _metric_snapshots(metrics):
+        families.setdefault(snap["name"], []).append(snap)
+        kinds[snap["name"]] = snap["kind"]
+
+    lines: list[str] = []
+    for name in sorted(families):
+        kind = kinds[name]
+        base = _prom_name(name, prefix)
+        family = base + ("_total" if kind == "counter" else "")
+        lines.append(f"# HELP {family} {name}")
+        lines.append(f"# TYPE {family} {kind}")
+        for snap in families[name]:
+            labels = snap.get("labels") or {}
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{family}{_prom_labels(labels)} {_format_value(snap['value'])}"
+                )
+            elif kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(snap["buckets"], snap["counts"]):
+                    cumulative += count
+                    le = _prom_labels(labels, {"le": _format_value(bound)})
+                    lines.append(f"{base}_bucket{le} {cumulative}")
+                le = _prom_labels(labels, {"le": "+Inf"})
+                lines.append(f"{base}_bucket{le} {snap['count']}")
+                lines.append(f"{base}_sum{_prom_labels(labels)} {repr(float(snap['sum']))}")
+                lines.append(f"{base}_count{_prom_labels(labels)} {snap['count']}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,216 @@
+"""Metric primitives: counters, gauges, and histograms.
+
+Plain, thread-safe, stdlib-only value holders.  They carry no global
+registry of their own — the process-local :class:`~repro.obs.recorder.Recorder`
+owns one dictionary of them keyed by ``(name, labels)`` — so a subsystem
+that wants an always-on metric independent of tracing (e.g. the serve
+daemon's latency histogram) can instantiate one directly.
+
+All three types share the same small surface: a ``name``, an optional
+``labels`` mapping (rendered into Prometheus label sets and Chrome trace
+args), and a ``snapshot()`` returning a JSON-safe dict.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Sequence
+
+#: Default histogram bucket upper bounds in seconds: micro-benchmarks
+#: through multi-minute sweeps.  The implicit ``+Inf`` bucket is always
+#: present and never listed here.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def _frozen_labels(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    """Labels as a canonical sorted tuple (hashable registry key)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total (events seen, bytes moved, ...).
+
+    Args:
+        name: dotted metric name, e.g. ``"sim.bytes_moved"``.
+        labels: optional constant label set, e.g. ``{"link": "inter"}``.
+    """
+
+    kind = "counter"
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the running total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-safe state: ``{"name", "kind", "labels", "value"}``."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, inflight requests).
+
+    Args:
+        name: dotted metric name.
+        labels: optional constant label set.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the current value by ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-safe state: ``{"name", "kind", "labels", "value"}``."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A distribution of observations in fixed buckets (latencies, sizes).
+
+    Tracks per-bucket counts plus count/sum/min/max, so both Prometheus
+    exposition (cumulative ``le`` buckets) and quick quantile estimates
+    fall out without storing every observation.
+
+    Args:
+        name: dotted metric name.
+        labels: optional constant label set.
+        buckets: increasing upper bounds; defaults to
+            :data:`DEFAULT_BUCKETS`.  A final ``+Inf`` bucket is implicit.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        slot = len(self.buckets)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = index
+                break
+        with self._lock:
+            self.counts[slot] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (0..100) by bucket interpolation.
+
+        Returns 0.0 with no observations.  The estimate interpolates
+        linearly within the bucket holding the target rank, clamped to
+        the observed ``max`` for the +Inf bucket.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = p / 100.0 * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.counts):
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    if index >= len(self.buckets):
+                        return self.max
+                    upper = self.buckets[index]
+                    lower = self.buckets[index - 1] if index else 0.0
+                    fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                    return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+            return self.max
+
+    def merge(self, other_snapshot: Mapping) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Used when worker processes ship their metric deltas back to the
+        parent.  Bucket layouts must match.
+        """
+        if tuple(other_snapshot["buckets"]) != self.buckets:
+            raise ValueError(f"histogram {self.name}: mismatched bucket layout")
+        with self._lock:
+            for index, bucket_count in enumerate(other_snapshot["counts"]):
+                self.counts[index] += int(bucket_count)
+            self.count += int(other_snapshot["count"])
+            self.sum += float(other_snapshot["sum"])
+            if other_snapshot["count"]:
+                self.min = min(self.min, float(other_snapshot["min"]))
+                self.max = max(self.max, float(other_snapshot["max"]))
+
+    def snapshot(self) -> dict:
+        """JSON-safe state incl. buckets, per-bucket counts, count/sum/min/max."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "labels": dict(self.labels),
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+            }

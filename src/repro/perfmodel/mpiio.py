@@ -17,6 +17,7 @@ import math
 from repro.iolib.aggregators import partition_ranks, select_default_aggregators
 from repro.iolib.hints import MPIIOHints
 from repro.machine.machine import Machine
+from repro.obs import recorder as obs_recorder
 from repro.perfmodel.aggregation import AggregationPhaseModel
 from repro.perfmodel.common import ModelContext, build_context, is_aligned
 from repro.perfmodel.flows import analyze_flows
@@ -191,6 +192,15 @@ def model_mpiio(
     details["contention"] = flows.mean_contention()
     details["aggregator_nodes"] = aggregator_nodes
     details["senders_by_aggregator"] = senders_by_aggregator
+    rec = obs_recorder()
+    if rec is not None:
+        # Same phase terms as the TAPIOCA model, so `repro profile` shows
+        # one combined C1/C2/overhead breakdown whichever model a figure uses.
+        rec.inc("model.phase_seconds", phases.aggregation, phase="aggregation")
+        rec.inc("model.phase_seconds", phases.io, phase="io")
+        rec.inc("model.phase_seconds", phases.overhead, phase="overhead")
+        rec.inc("model.phase_seconds", phases.overlapped, phase="overlapped")
+        rec.inc("model.estimates")
     return IOEstimate(
         method=label,
         machine=machine.name,

@@ -23,6 +23,7 @@ from repro.core.partitioning import build_partitions
 from repro.core.placement import place_aggregators
 from repro.core.topology_iface import TopologyInterface
 from repro.machine.machine import Machine
+from repro.obs import recorder as obs_recorder
 from repro.perfmodel.aggregation import AggregationPhaseModel
 from repro.perfmodel.common import build_context, is_aligned
 from repro.perfmodel.flows import analyze_flows
@@ -164,6 +165,15 @@ def model_tapioca(
     else:
         phases.aggregation = rounds * t_fill
         phases.io = rounds * t_io
+    rec = obs_recorder()
+    if rec is not None:
+        # The model's own phase terms, accumulated so `repro profile` can
+        # print them next to the host-side span times of the same phases.
+        rec.inc("model.phase_seconds", phases.aggregation, phase="aggregation")
+        rec.inc("model.phase_seconds", phases.io, phase="io")
+        rec.inc("model.phase_seconds", phases.overhead, phase="overhead")
+        rec.inc("model.phase_seconds", phases.overlapped, phase="overlapped")
+        rec.inc("model.estimates")
     details = {
         "contention": flows.mean_contention(),
         "placement": placement.strategy,

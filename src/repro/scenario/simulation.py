@@ -22,6 +22,7 @@ from repro.machine.generic import GenericClusterMachine
 from repro.machine.machine import Machine
 from repro.machine.mira import MIRA_PSET_SIZE, MiraMachine
 from repro.machine.theta import ThetaMachine
+from repro.obs import span as obs_span
 from repro.perfmodel.mpiio import model_mpiio
 from repro.perfmodel.results import IOEstimate
 from repro.perfmodel.tapioca import model_tapioca
@@ -283,22 +284,23 @@ class Simulation:
         if resolved is None:
             resolved = self.resolve()
         ranks_per_node = self.scenario.machine.ranks_per_node
-        if resolved.method == "tapioca":
-            return model_tapioca(
+        with obs_span("scenario.estimate", cat="scenario", method=resolved.method):
+            if resolved.method == "tapioca":
+                return model_tapioca(
+                    resolved.machine,
+                    resolved.workload,
+                    resolved.config,
+                    ranks_per_node=ranks_per_node,
+                    filesystem=resolved.filesystem,
+                    stripe=resolved.stripe,
+                )
+            return model_mpiio(
                 resolved.machine,
                 resolved.workload,
-                resolved.config,
+                resolved.hints,
                 ranks_per_node=ranks_per_node,
                 filesystem=resolved.filesystem,
-                stripe=resolved.stripe,
             )
-        return model_mpiio(
-            resolved.machine,
-            resolved.workload,
-            resolved.hints,
-            ranks_per_node=ranks_per_node,
-            filesystem=resolved.filesystem,
-        )
 
     # -- multi-job path -----------------------------------------------------
 

@@ -5,7 +5,10 @@ framework is available in-container, and the protocol surface is four
 routes:
 
 * ``GET /healthz`` — liveness probe, ``{"status": "ok"}``.
-* ``GET /stats`` — the service's counters (requests, cache hits, dedups...).
+* ``GET /stats`` — the service's counters (requests, cache hits, dedups...)
+  plus inflight/queue-depth gauges and p50/p95 request latency.
+* ``GET /metrics`` — the same data in Prometheus text exposition format
+  (plus every process-level metric when tracing is enabled).
 * ``POST /evaluate`` — body is one Scenario JSON payload; the response is
   the evaluation envelope.
 * ``POST /evaluate-batch`` — body is a JSON array of Scenario payloads; the
@@ -85,6 +88,20 @@ def _response_bytes(status: int, payload: Any) -> bytes:
     return head + body
 
 
+def _text_response_bytes(
+    status: int, body_text: str, content_type: str = "text/plain; charset=utf-8"
+) -> bytes:
+    """A complete plain-text response (the ``/metrics`` exposition)."""
+    body = body_text.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} OK\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
 def _chunk(data: bytes) -> bytes:
     return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
 
@@ -133,11 +150,19 @@ class HttpFrontend:
                 writer.write(_response_bytes(200, {"status": "ok"}))
             elif path == "/stats" and method == "GET":
                 writer.write(_response_bytes(200, self.service.snapshot()))
+            elif path == "/metrics" and method == "GET":
+                writer.write(
+                    _text_response_bytes(
+                        200,
+                        self.service.metrics_text(),
+                        content_type="text/plain; version=0.0.4; charset=utf-8",
+                    )
+                )
             elif path == "/evaluate" and method == "POST":
                 await self._evaluate_one(writer, body)
             elif path == "/evaluate-batch" and method == "POST":
                 await self._evaluate_batch(writer, body)
-            elif path in ("/healthz", "/stats", "/evaluate", "/evaluate-batch"):
+            elif path in ("/healthz", "/stats", "/metrics", "/evaluate", "/evaluate-batch"):
                 writer.write(
                     _response_bytes(405, {"status": "error", "error": f"{method} not allowed"})
                 )

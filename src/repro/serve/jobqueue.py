@@ -33,6 +33,7 @@ import time
 import uuid
 from pathlib import Path
 
+from repro.obs import recorder as obs_recorder
 from repro.serve.service import EvaluationService
 
 INBOX = "inbox"
@@ -109,6 +110,11 @@ class JobQueueFrontend:
         inbox, work, done = _queue_dirs(self.root)
         while True:
             claimed = self._claim_all(inbox, work)
+            if claimed:
+                rec = obs_recorder()
+                if rec is not None:
+                    rec.inc("serve.queue_claimed", len(claimed))
+                    rec.set_gauge("serve.queue_depth", len(claimed))
             for job_path in claimed:
                 # Each job evaluates concurrently; the service's batching
                 # window coalesces jobs claimed in the same scan.
@@ -151,6 +157,9 @@ class JobQueueFrontend:
             done / f"{job_id}.json",
             json.dumps({"job_id": job_id, **envelope}, sort_keys=True),
         )
+        rec = obs_recorder()
+        if rec is not None:
+            rec.inc("serve.queue_done", status=str(envelope.get("status")))
         try:
             job_path.unlink()
         except FileNotFoundError:

@@ -27,6 +27,8 @@ import time
 from typing import Any, Mapping
 
 from repro.experiments.store import ArtifactStore
+from repro.obs import Histogram, now, prometheus_text, recorder as obs_recorder
+from repro.obs.clock import round_wall
 from repro.scenario.spec import Scenario
 
 
@@ -72,13 +74,47 @@ class EvaluationService:
             "errors": 0,
             "batches": 0,
         }
+        # Always-on service-owned metrics (independent of the global
+        # recorder): one observation per request/batch is negligible next
+        # to the seconds-long simulations being served.
+        self.latency = Histogram("serve.request_seconds")
+        self.batch_sizes = Histogram(
+            "serve.batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256)
+        )
 
     # ------------------------------------------------------------------ #
     # Request entry point
     # ------------------------------------------------------------------ #
 
     async def evaluate(self, payload: Mapping[str, Any]) -> dict:
-        """Evaluate one scenario payload; always returns an envelope dict."""
+        """Evaluate one scenario payload; always returns an envelope dict.
+
+        Also times the full request lifecycle into the always-on latency
+        histogram and — when the global recorder is enabled — records one
+        flat ``serve.request`` span with explicit timestamps.  (Flat, not
+        stack-nested: interleaved coroutines on the event-loop thread would
+        mis-nest a thread-local span stack.)
+        """
+        start = now()
+        envelope = await self._evaluate_inner(payload)
+        end = now()
+        self.latency.observe(end - start)
+        rec = obs_recorder()
+        if rec is not None:
+            rec.add_span(
+                "serve.request",
+                start,
+                end,
+                cat="serve",
+                args={
+                    "status": envelope.get("status"),
+                    "cached": envelope.get("cached"),
+                },
+            )
+        return envelope
+
+    async def _evaluate_inner(self, payload: Mapping[str, Any]) -> dict:
+        """The three-gate request path (cache -> dedup -> batch)."""
         self.stats["requests"] += 1
         try:
             scenario = Scenario.from_dict(payload)
@@ -143,11 +179,22 @@ class EvaluationService:
             if not batch:
                 return
             self.stats["batches"] += 1
+            self.batch_sizes.observe(len(batch))
             payloads = [scenario.to_dict() for _, scenario in batch]
+            batch_start = now()
             try:
                 responses = await self._run_batch(payloads)
             except Exception as error:  # pool died, cancellation, ...
                 responses = [_error_envelope(str(error))] * len(batch)
+            rec = obs_recorder()
+            if rec is not None:
+                rec.add_span(
+                    "serve.batch",
+                    batch_start,
+                    now(),
+                    cat="serve",
+                    args={"size": len(batch)},
+                )
             for (scenario_hash, scenario), response in zip(batch, responses):
                 self._settle(scenario_hash, scenario, dict(response))
             if not self._pending:
@@ -198,7 +245,12 @@ class EvaluationService:
     # ------------------------------------------------------------------ #
 
     def snapshot(self) -> dict:
-        """Stats payload for ``GET /stats`` and the queue's ``stats`` op."""
+        """Stats payload for ``GET /stats`` and the queue's ``stats`` op.
+
+        On top of the lifetime counters: ``inflight`` (requests awaiting a
+        result), ``pending`` (queue depth of the next microbatch), and the
+        latency histogram's p50/p95/mean in seconds.
+        """
         return {
             **self.stats,
             "inflight": len(self._inflight),
@@ -206,7 +258,51 @@ class EvaluationService:
             "jobs": self.jobs,
             "store": self.store.backend.describe() if self.store else None,
             "cache": bool(self.store is not None and self.use_cache),
+            "latency_p50_s": round_wall(self.latency.percentile(50)),
+            "latency_p95_s": round_wall(self.latency.percentile(95)),
+            "latency_mean_s": round_wall(
+                self.latency.sum / self.latency.count if self.latency.count else 0.0
+            ),
         }
+
+    def metrics_text(self) -> str:
+        """The daemon's metrics in Prometheus text format (``GET /metrics``).
+
+        Exposes the service's lifetime counters, the inflight/pending
+        gauges, the latency and batch-size histograms, and — when the
+        global recorder is enabled — every recorded metric of the process.
+        """
+        snapshots: list[dict] = [
+            {
+                "name": f"serve.{key}",
+                "kind": "counter",
+                "labels": {},
+                "value": float(value),
+            }
+            for key, value in self.stats.items()
+        ]
+        snapshots.append(
+            {
+                "name": "serve.inflight",
+                "kind": "gauge",
+                "labels": {},
+                "value": float(len(self._inflight)),
+            }
+        )
+        snapshots.append(
+            {
+                "name": "serve.pending",
+                "kind": "gauge",
+                "labels": {},
+                "value": float(len(self._pending)),
+            }
+        )
+        snapshots.append(self.latency.snapshot())
+        snapshots.append(self.batch_sizes.snapshot())
+        rec = obs_recorder()
+        if rec is not None:
+            snapshots.extend(metric.snapshot() for metric in rec.metrics())
+        return prometheus_text(snapshots)
 
     async def drain(self, timeout_s: float = 30.0) -> None:
         """Wait until every accepted request has been resolved."""

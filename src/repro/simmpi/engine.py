@@ -176,6 +176,8 @@ class Environment:
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = count()
+        #: Events processed so far (diagnostics; read by the obs layer).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -213,6 +215,7 @@ class Environment:
         """Process the next scheduled event."""
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         event._process_callbacks()
 
     def run(self, until: float | None = None) -> float:

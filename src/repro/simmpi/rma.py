@@ -14,6 +14,7 @@ from typing import Any, Generator, TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs import recorder as obs_recorder
 from repro.simmpi.communicator import Communicator
 from repro.simmpi.engine import Event
 from repro.simmpi.errors import SimMPIError
@@ -104,6 +105,13 @@ class Window:
         target[target_offset : target_offset + nbytes] = buf
         self.bytes_put += nbytes
         self.put_count += 1
+        rec = obs_recorder()
+        if rec is not None:
+            rec.inc(
+                "sim.rma_bytes",
+                nbytes,
+                link="intra" if src_node == dst_node else "inter",
+            )
 
     def get(
         self,

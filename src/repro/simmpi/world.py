@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Sequence
 
 from repro.machine.machine import Machine
+from repro.obs import recorder as obs_recorder, span as obs_span
 from repro.simmpi.communicator import Communicator, ReduceOp
 from repro.simmpi.engine import Environment, Event
 from repro.simmpi.errors import RankProgramError, SimMPIError
@@ -368,20 +369,28 @@ class SimWorld:
         common = dict(program_kwargs or {})
         processes = []
         contexts = []
-        for rank in range(self.num_ranks):
-            ctx = RankContext(
-                world=self,
-                rank=rank,
-                node=self.node_of_rank(rank),
-                comm=BoundComm(self.comm_world, rank),
-            )
-            contexts.append(ctx)
-            kwargs = dict(common)
-            if per_rank_kwargs is not None:
-                kwargs.update(per_rank_kwargs(rank))
-            generator = program(ctx, **kwargs)
-            processes.append(self.env.process(generator, name=f"rank{rank}"))
-        elapsed = self.env.run_all(expect_processes=processes)
+        events_before = self.env.events_processed
+        with obs_span(
+            "sim.world_run", cat="sim", ranks=self.num_ranks, nodes=self.num_nodes
+        ):
+            for rank in range(self.num_ranks):
+                ctx = RankContext(
+                    world=self,
+                    rank=rank,
+                    node=self.node_of_rank(rank),
+                    comm=BoundComm(self.comm_world, rank),
+                )
+                contexts.append(ctx)
+                kwargs = dict(common)
+                if per_rank_kwargs is not None:
+                    kwargs.update(per_rank_kwargs(rank))
+                generator = program(ctx, **kwargs)
+                processes.append(self.env.process(generator, name=f"rank{rank}"))
+            elapsed = self.env.run_all(expect_processes=processes)
+        rec = obs_recorder()
+        if rec is not None:
+            rec.inc("sim.events", self.env.events_processed - events_before)
+            rec.inc("sim.world_runs")
         returns: list[Any] = []
         for rank, process in enumerate(processes):
             if not process.ok:

@@ -33,6 +33,7 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs import recorder as obs_recorder
 from repro.utils.fastpath import fastpath_enabled
 
 #: A route endpoint: either a compute node id (int) or a tagged auxiliary
@@ -323,6 +324,12 @@ class Topology(abc.ABC):
             cache = self.__dict__["_fp_pair_metrics"] = {}
             self.__dict__["_fp_pair_cells"] = 0
         hit = cache.get(key)
+        rec = obs_recorder()
+        if rec is not None:
+            rec.inc(
+                "topo.pair_metrics",
+                outcome="hit" if hit is not None else "miss",
+            )
         if hit is not None:
             return hit
         size = len(key)

@@ -154,3 +154,36 @@ class TestWorkflowShape:
         uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
         assert uploads, "smoke job must upload the artifact directory"
         assert "manifest.json" in uploads[0]["with"]["path"]
+
+    def test_smoke_job_runs_a_traced_experiment_and_uploads_the_trace(
+        self, workflow
+    ):
+        steps = workflow["jobs"]["smoke"]["steps"]
+        commands = [s.get("run", "") for s in steps]
+        traced = [c for c in commands if "--trace artifacts/trace.json" in c]
+        assert traced, "smoke job must exercise repro run --trace"
+        assert "repro run fig08" in traced[0]
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert "artifacts/trace.json" in uploads[0]["with"]["path"], (
+            "the Chrome trace must be uploaded with the experiment artifacts"
+        )
+
+    def test_smoke_job_reverifies_artifacts_under_tracing(self, workflow):
+        commands = [s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]]
+        reverify = [c for c in commands if "REPRO_TRACE=1" in c]
+        assert reverify, (
+            "smoke job must re-run the sweep with tracing on and compare "
+            "artifacts against the untraced run"
+        )
+        assert "--no-cache" in reverify[0], "the traced re-run must not hit the cache"
+        assert "artifacts-traced/" in reverify[0]
+        assert "wall_time_s" in reverify[0], (
+            "only wall_time_s may be excluded from the byte-identical comparison"
+        )
+
+    def test_serve_job_scrapes_prometheus_metrics(self, workflow):
+        commands = [s.get("run", "") for s in workflow["jobs"]["serve"]["steps"]]
+        scrape = [c for c in commands if "/metrics" in c]
+        assert scrape, "serve job must scrape the daemon's /metrics endpoint"
+        assert "repro_serve_requests_total" in scrape[0]
+        assert "repro_serve_request_seconds_count" in scrape[0]

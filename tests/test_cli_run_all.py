@@ -64,7 +64,9 @@ class TestRunAllArtifacts:
         assert main(["run-all", *QUICK_ARGS, "--out", str(out_dir)]) == 0
         output = capsys.readouterr().out
         assert "0 ran, 2 cache hits, 0 failed checks" in output
-        assert output.count("cached") == 2
+        # Two per-row "cached" markers plus the summary's fresh-vs-cached note.
+        assert output.count("cached") == 3
+        assert "fresh 0.00s + 2 cached (orig " in output
 
         # --no-cache forces both to re-run.
         assert main(["run-all", *QUICK_ARGS, "--out", str(out_dir), "--no-cache"]) == 0

@@ -1,0 +1,428 @@
+"""Tests for the observability core: clock, metrics, recorder, exporters."""
+
+import importlib
+import json
+import math
+import re
+
+import pytest
+
+# The package re-exports the recorder() accessor under the same name as the
+# submodule, so `import repro.obs.recorder as x` would bind the function.
+recorder_module = importlib.import_module("repro.obs.recorder")
+
+from repro.obs import (  # noqa: E402
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Recorder,
+    chrome_trace,
+    elapsed_s,
+    now,
+    prometheus_text,
+    round_wall,
+    span,
+    timed,
+    write_chrome_trace,
+)
+from repro.obs.recorder import collecting, disable, enable, enabled, recorder
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """Every test starts and ends with recording disabled."""
+    previous = recorder_module._RECORDER
+    recorder_module._RECORDER = None
+    yield
+    recorder_module._RECORDER = previous
+
+
+class TestClock:
+    def test_round_wall_rounds_to_six_decimals(self):
+        assert round_wall(1.23456789) == 1.234568
+        assert round_wall(0.0) == 0.0
+
+    def test_elapsed_is_rounded_and_non_negative(self):
+        start = now()
+        value = elapsed_s(start)
+        assert value >= 0.0
+        assert value == round(value, 6)
+
+    def test_timed_returns_result_and_seconds(self):
+        result, seconds = timed(lambda a, b: a + b, 2, 3)
+        assert result == 5
+        assert seconds >= 0.0
+        assert seconds == round(seconds, 6)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("x.events", {"kind": "a"})
+        counter.inc()
+        counter.inc(2.5)
+        snap = counter.snapshot()
+        assert snap == {
+            "name": "x.events",
+            "kind": "counter",
+            "labels": {"kind": "a"},
+            "value": 3.5,
+        }
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("x.depth")
+        gauge.set(4)
+        gauge.add(-1.5)
+        assert gauge.snapshot()["value"] == 2.5
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        hist = Histogram("x.lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        # A value equal to a bound belongs to that bound's bucket (le).
+        assert hist.counts == [2, 0, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(104.5)
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+
+    def test_empty_snapshot_has_zero_min_max(self):
+        snap = Histogram("x").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram("x").percentile(95) == 0.0
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = Histogram("x.lat", buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(1.5)  # all in the (1, 2] bucket
+        p50 = hist.percentile(50)
+        assert 1.0 <= p50 <= 2.0
+
+    def test_percentile_inf_bucket_clamps_to_max(self):
+        hist = Histogram("x.lat", buckets=(1.0,))
+        hist.observe(7.0)
+        assert hist.percentile(99) == 7.0
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
+
+    def test_merge_adds_counts_and_extremes(self):
+        a = Histogram("x", buckets=(1.0, 2.0))
+        b = Histogram("x", buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b.snapshot())
+        assert a.count == 3
+        assert a.counts == [1, 1, 1]
+        assert a.min == 0.5 and a.max == 9.0
+
+    def test_merge_rejects_mismatched_layout(self):
+        a = Histogram("x", buckets=(1.0, 2.0))
+        b = Histogram("x", buckets=(1.0,))
+        with pytest.raises(ValueError, match="mismatched bucket layout"):
+            a.merge(b.snapshot())
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRecorderLifecycle:
+    def test_disabled_by_default(self):
+        assert recorder() is None
+        assert not enabled()
+
+    def test_disabled_span_is_one_shared_noop(self):
+        """The zero-overhead-when-off guarantee: no allocation per span."""
+        first = span("anything", key="value")
+        second = span("other")
+        assert first is second
+        with first:
+            pass  # usable as a context manager
+
+    def test_enable_disable_roundtrip(self):
+        rec = enable()
+        assert recorder() is rec and enabled()
+        assert enable() is rec  # idempotent
+        disable()
+        assert recorder() is None
+
+    def test_enable_adopts_trace_path_once(self, tmp_path):
+        rec = enable()
+        assert rec.trace_path is None
+        enable(tmp_path / "trace.json")
+        assert rec.trace_path == str(tmp_path / "trace.json")
+        enable(tmp_path / "other.json")  # first path wins
+        assert rec.trace_path == str(tmp_path / "trace.json")
+
+    def test_collecting_installs_and_restores(self):
+        outer = enable()
+        with collecting() as inner:
+            assert recorder() is inner and inner is not outer
+        assert recorder() is outer
+
+
+class TestRecorderMetrics:
+    def test_inc_observe_set_gauge(self):
+        rec = Recorder()
+        rec.inc("a.count", 2, kind="x")
+        rec.inc("a.count", 3, kind="x")
+        rec.set_gauge("a.depth", 7)
+        rec.observe("a.lat", 0.5)
+        snaps = {
+            (snap["name"], tuple(sorted(snap["labels"].items()))): snap
+            for snap in (metric.snapshot() for metric in rec.metrics())
+        }
+        assert snaps[("a.count", (("kind", "x"),))]["value"] == 5.0
+        assert snaps[("a.depth", ())]["value"] == 7.0
+        assert snaps[("a.lat", ())]["count"] == 1
+
+    def test_same_name_different_kind_do_not_collide(self):
+        rec = Recorder()
+        rec.inc("x")
+        rec.observe("x", 1.0)
+        kinds = sorted(m.kind for m in rec.metrics())
+        assert kinds == ["counter", "histogram"]
+
+
+class TestRecorderSpans:
+    def test_nested_spans_record_parent(self):
+        rec = enable()
+        with span("outer"):
+            with span("inner", cat="test", detail=3):
+                pass
+        names = {record["name"]: record for record in rec.spans}
+        assert names["inner"]["args"]["parent"] == "outer"
+        assert names["inner"]["args"]["detail"] == 3
+        assert names["outer"]["args"] == {}  # parent=None filtered out
+        assert names["inner"]["dur"] >= 0.0
+
+    def test_add_span_uses_explicit_timestamps(self):
+        rec = Recorder()
+        rec.add_span("flat", 1.0, 3.5, cat="serve", tid=42, args={"n": 1, "skip": None})
+        (record,) = rec.spans
+        assert record["dur"] == 2.5
+        assert record["tid"] == 42
+        assert record["args"] == {"n": 1}
+
+    def test_span_seconds_totals_by_name(self):
+        rec = Recorder()
+        rec.add_span("a", 0.0, 1.0)
+        rec.add_span("a", 2.0, 2.5)
+        rec.add_span("b", 0.0, 0.25)
+        assert rec.span_seconds() == {"a": 1.5, "b": 0.25}
+
+
+class TestWorkerDeltaRoundTrip:
+    def test_merge_state_folds_metrics_and_spans(self):
+        worker = Recorder()
+        worker.inc("w.count", 4, src="w")
+        worker.set_gauge("w.depth", 2)
+        worker.observe("w.lat", 0.3)
+        worker.add_span("w.task", 10.0, 10.5)
+        state = worker.export_state()
+        # The state must survive serialisation (it crosses process pipes).
+        state = json.loads(json.dumps(state))
+
+        parent = Recorder()
+        parent.inc("w.count", 1, src="w")
+        parent.merge_state(state)
+        parent.merge_state(state)  # merging twice doubles the deltas
+
+        snaps = {snap["name"]: snap for snap in (m.snapshot() for m in parent.metrics())}
+        assert snaps["w.count"]["value"] == 9.0  # 1 + 4 + 4
+        assert snaps["w.depth"]["value"] == 2.0
+        assert snaps["w.lat"]["count"] == 2
+        assert len(parent.spans) == 2
+        for record in parent.spans:
+            # Durations are exact; timestamps are shifted onto this clock.
+            assert record["dur"] == 0.5
+            assert record["end"] <= now()
+
+    def test_merge_state_replaces_mismatched_histogram_layout(self):
+        worker = Recorder()
+        custom = Histogram("h", None, (1, 2, 4))
+        custom.observe(3.0)
+        worker._metrics[("h", ("histogram",))] = custom
+        parent = Recorder()
+        parent.observe("h", 0.1)  # default bucket layout
+        parent.merge_state(worker.export_state())
+        (snap,) = [m.snapshot() for m in parent.metrics()]
+        assert snap["buckets"] == [1.0, 2.0, 4.0]
+        assert snap["count"] == 1
+
+
+class TestConfigureFromEnv:
+    def test_truthy_enables_in_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        recorder_module.configure_from_env()
+        assert enabled() and recorder().trace_path is None
+
+    def test_path_value_sets_trace_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.json"))
+        recorder_module.configure_from_env()
+        assert recorder().trace_path == str(tmp_path / "t.json")
+
+    def test_falsy_stays_disabled(self, monkeypatch):
+        for value in ("", "0", "off", "false"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            recorder_module.configure_from_env()
+            assert not enabled()
+
+
+def _validate_trace_events(document: dict) -> None:
+    """Assert a document is valid Chrome trace-event JSON (object form)."""
+    assert isinstance(document["traceEvents"], list)
+    for event in document["traceEvents"]:
+        assert isinstance(event["name"], str) and event["name"]
+        assert event["ph"] in ("X", "C")
+        assert isinstance(event["ts"], int) and event["ts"] >= 0
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+            assert isinstance(event["tid"], int)
+        if "args" in event:
+            assert isinstance(event["args"], dict)
+
+
+class TestChromeTrace:
+    def _recorder_with_activity(self) -> Recorder:
+        rec = Recorder()
+        rec.add_span("phase.one", 0.001, 0.002, args={"n": 1})
+        rec.add_span("phase.two", 0.002, 0.002)  # zero-length still renders
+        rec.inc("events", 3, kind="a")
+        rec.inc("plain")
+        rec.set_gauge("depth", 2)  # gauges are not counter tracks
+        return rec
+
+    def test_document_validates_against_schema(self):
+        document = chrome_trace(self._recorder_with_activity())
+        _validate_trace_events(document)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_span_and_counter_events(self):
+        events = chrome_trace(self._recorder_with_activity())["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {e["name"] for e in spans} == {"phase.one", "phase.two"}
+        assert {e["name"] for e in counters} == {"events[kind=a]", "plain"}
+        assert counters[0]["args"]["value"] == 3.0
+
+    def test_write_chrome_trace_roundtrips(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "sub" / "trace.json", self._recorder_with_activity()
+        )
+        document = json.loads(path.read_text())
+        _validate_trace_events(document)
+
+    def test_recorder_flush_writes_trace(self, tmp_path):
+        rec = Recorder(tmp_path / "t.json")
+        rec.add_span("s", 0.0, 1.0)
+        assert rec.flush() == str(tmp_path / "t.json")
+        _validate_trace_events(json.loads((tmp_path / "t.json").read_text()))
+
+    def test_flush_without_path_is_a_noop(self):
+        assert Recorder().flush() is None
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})? (?P<value>[0-9.+eE-]+|\+Inf|NaN)$"
+)
+
+
+def parse_prometheus_text(text: str) -> dict[str, list[tuple[str, float]]]:
+    """Parse (and structurally validate) Prometheus 0.0.4 text exposition.
+
+    Returns ``{family: [(sample_line_name+labels, value), ...]}`` and
+    asserts every sample belongs to a family declared by a ``# TYPE`` line.
+    """
+    families: dict[str, str] = {}
+    samples: dict[str, list[tuple[str, float]]] = {}
+    for line in text.strip().splitlines():
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram")
+            families[family] = kind
+            samples.setdefault(family, [])
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line}"
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+        assert base in families or name in families, f"sample {name} has no TYPE"
+        key = name if name in families else base
+        value = match.group("value")
+        samples[key].append(
+            (name + (match.group("labels") or ""), float(value) if value != "+Inf" else math.inf)
+        )
+    return samples
+
+
+class TestPrometheusText:
+    def test_counter_gets_total_suffix_and_labels(self):
+        counter = Counter("sim.bytes_moved", {"link": "inter"})
+        counter.inc(1024)
+        text = prometheus_text([counter])
+        assert '# TYPE repro_sim_bytes_moved_total counter' in text
+        assert 'repro_sim_bytes_moved_total{link="inter"} 1024' in text
+        parse_prometheus_text(text)
+
+    def test_gauge_renders_plain(self):
+        gauge = Gauge("serve.inflight")
+        gauge.set(3)
+        text = prometheus_text([gauge])
+        assert "# TYPE repro_serve_inflight gauge" in text
+        assert "repro_serve_inflight 3" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            hist.observe(value)
+        text = prometheus_text([hist])
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="2"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+        samples = parse_prometheus_text(text)
+        buckets = [v for name, v in samples["repro_lat"] if "_bucket" in name]
+        assert buckets == sorted(buckets), "bucket series must be cumulative"
+
+    def test_label_values_are_escaped(self):
+        counter = Counter("x", {"path": 'a"b\\c\nd'})
+        counter.inc()
+        text = prometheus_text([counter])
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+
+    def test_families_share_one_header(self):
+        first = Counter("x.count", {"kind": "a"})
+        second = Counter("x.count", {"kind": "b"})
+        first.inc()
+        second.inc()
+        text = prometheus_text([first, second])
+        assert text.count("# TYPE repro_x_count_total counter") == 1
+        assert len(parse_prometheus_text(text)["repro_x_count_total"]) == 2
+
+    def test_accepts_raw_snapshot_dicts(self):
+        text = prometheus_text(
+            [{"name": "serve.requests", "kind": "counter", "labels": {}, "value": 5.0}]
+        )
+        assert "repro_serve_requests_total 5" in text
