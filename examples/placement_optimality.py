@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""How good is the paper's greedy aggregator election, really?
+
+TAPIOCA elects each partition's aggregator independently (Section IV-B) —
+optimal when partitions do not interact, but co-located aggregators share
+their node's injection link.  This example builds the coupled assignment
+problem for a HACC-IO write on Theta at 64 nodes and solves it three ways:
+
+* greedy  — the paper's per-partition argmin (the reproduction's default);
+* exact   — branch-and-bound, which *certifies* the optimum at this size;
+* anneal  — simulated-annealing local search, warm-started from greedy.
+
+Run with:  python examples/placement_optimality.py
+"""
+
+from repro.placement_opt import (
+    anneal,
+    assignment_cost,
+    branch_and_bound,
+    greedy_choice,
+    problem_for_scenario,
+)
+from repro.scenario.registry import get_scenario
+from repro.utils.tables import Table
+
+NUM_NODES = 64
+
+scenario = get_scenario("placement_optimality").with_overrides(
+    {"machine.num_nodes": NUM_NODES}
+)
+problem, machine_nodes = problem_for_scenario(scenario)
+print(
+    f"{scenario.machine.kind} at {machine_nodes} nodes: "
+    f"{problem.num_partitions} partitions, "
+    f"{sum(len(p.candidates) for p in problem.partitions):,} candidate slots"
+)
+
+greedy = greedy_choice(problem)
+greedy_cost = assignment_cost(problem, greedy)
+exact = branch_and_bound(problem, warm_start=greedy)
+annealed = anneal(problem, seed=2017, warm_start=greedy)
+
+table = Table(
+    headers=["solver", "aggregation cost (ms)", "gap vs greedy (%)", "notes"],
+    title=f"Aggregator placement under injection-link sharing (Theta, {NUM_NODES} nodes)",
+)
+for name, cost, notes in [
+    ("greedy", greedy_cost, "paper's independent election"),
+    (
+        "exact",
+        exact.cost_s,
+        (
+            f"{'certified optimum' if exact.proven_optimal else 'best effort'}, "
+            f"{exact.nodes_explored:,} nodes explored"
+        ),
+    ),
+    ("anneal", annealed.cost_s, f"{annealed.flips:,} flips, warm-started"),
+]:
+    gap = 100.0 * (greedy_cost - cost) / greedy_cost if greedy_cost else 0.0
+    table.add_row(name, round(cost * 1e3, 4), round(gap, 4), notes)
+
+print(table.render())
+assert annealed.cost_s <= greedy_cost * (1 + 1e-9), "anneal must not lose to greedy"
+if exact.proven_optimal:
+    gap = 100.0 * max(0.0, greedy_cost - exact.cost_s) / greedy_cost
+    print(
+        f"\nCertified optimality gap of the greedy election: {gap:.4f}% "
+        "(0% means the paper's independent per-partition argmin is globally "
+        "optimal on this cell — collisions never pay off here)."
+    )
+else:
+    print(
+        "\nBranch-and-bound hit its node limit before proving the optimum; "
+        "the exact row is a best-effort bound."
+    )

@@ -12,7 +12,10 @@ strategies stay pure search logic:
   full pass stops improving;
 * :class:`SuccessiveHalving` — sample wide, evaluate at a coarse
   ``--scale`` fidelity (fewer nodes), keep the top ``1/eta``, and re-rank
-  at successively finer fidelities until the survivors run at full scale.
+  at successively finer fidelities until the survivors run at full scale;
+* :class:`Anneal` — a Metropolis walk over single-field mutations with
+  geometric cooling, the scenario-space sibling of the placement annealer
+  in :mod:`repro.placement_opt.anneal`.
 
 All randomness flows through :func:`repro.utils.rng.derive_seed`
 substreams, so a tuning trace is a pure function of ``(target, strategy,
@@ -205,6 +208,102 @@ class SuccessiveHalving(Strategy):
             cohort = [cohort[index] for _, index in ranked[:survivors]]
 
 
+class Anneal(Strategy):
+    """Simulated annealing over single-field mutations.
+
+    A Metropolis walk starting from the base scenario's own settings: each
+    step mutates one randomly chosen domain to a different rung, accepts
+    improvements outright and worsenings with probability
+    ``exp(-relative_worsening / temperature)`` under a geometric cooling
+    schedule sized to the remaining budget.  With ``restarts`` the walk
+    re-heats (but keeps its current position), trading exploitation for a
+    chance to leave a basin.  All randomness flows through the run's
+    ``derive_seed`` substream, so traces are reproducible.
+
+    Args:
+        initial_temp: starting temperature in *relative objective* units
+            (0.1 accepts a 10% worsening with probability ``1/e``).
+        cooling_target: final temperature as a fraction of ``initial_temp``.
+        restarts: number of re-heats across the budget.
+    """
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        *,
+        initial_temp: float = 0.1,
+        cooling_target: float = 1e-2,
+        restarts: int = 2,
+    ) -> None:
+        require(initial_temp > 0, f"initial_temp must be > 0, got {initial_temp}")
+        require(
+            0 < cooling_target < 1,
+            f"cooling_target must be in (0, 1), got {cooling_target}",
+        )
+        require(restarts >= 1, f"restarts must be >= 1, got {restarts}")
+        self.initial_temp = float(initial_temp)
+        self.cooling_target = float(cooling_target)
+        self.restarts = int(restarts)
+
+    def _neighbour(self, rng, run: "TunerRun", current: dict) -> dict:
+        domains = [d for d in run.space.domains if len(d.fragments()) > 1]
+        if not domains:
+            return dict(current)
+        domain = domains[int(rng.integers(0, len(domains)))]
+        fragments = [
+            fragment
+            for fragment in domain.fragments()
+            if any(current.get(key) != value for key, value in fragment.items())
+        ]
+        if not fragments:
+            return dict(current)
+        fragment = fragments[int(rng.integers(0, len(fragments)))]
+        return {**current, **fragment}
+
+    def _relative_worsening(self, run: "TunerRun", value: float, current: float) -> float:
+        delta = value - current
+        if run.objective.direction == "max":
+            delta = -delta
+        scale = max(abs(current), 1e-30)
+        return delta / scale
+
+    def search(self, run: "TunerRun") -> None:
+        import math
+
+        rng = seeded_rng(derive_seed(run.seed, "anneal"))
+        current = run.start_point()
+        current_value = run.evaluate([current])[0]
+        budget = run.remaining()
+        if budget <= 0:
+            return
+        steps_per_restart = max(1, budget // self.restarts)
+        decay = self.cooling_target ** (1.0 / steps_per_restart)
+        # Memoised repeats are free, so an exhausted neighbourhood could
+        # spin forever without this proposal cap.
+        proposals = 0
+        proposal_cap = 50 * max(1, budget)
+        for _restart in range(self.restarts):
+            temperature = self.initial_temp
+            for _step in range(steps_per_restart):
+                if run.remaining() <= 0 or proposals >= proposal_cap:
+                    return
+                proposals += 1
+                temperature *= decay
+                candidate = self._neighbour(rng, run, current)
+                if canonical_point(candidate) == canonical_point(current):
+                    continue
+                value = run.evaluate([candidate])[0]
+                if value is None:
+                    continue
+                if current_value is None or run.objective.better(value, current_value):
+                    current, current_value = candidate, value
+                    continue
+                worsening = self._relative_worsening(run, value, current_value)
+                if rng.random() < math.exp(-worsening / temperature):
+                    current, current_value = candidate, value
+
+
 #: Registered strategies, by name (fresh instances per call — halving is
 #: stateful in construction only, not across runs).
 _STRATEGIES = {
@@ -212,6 +311,7 @@ _STRATEGIES = {
     RandomSearch.name: RandomSearch,
     HillClimb.name: HillClimb,
     SuccessiveHalving.name: SuccessiveHalving,
+    Anneal.name: Anneal,
 }
 
 

@@ -112,6 +112,81 @@ def bench_placement(
     }
 
 
+def bench_placement_opt(
+    *,
+    exact_nodes: int = 32,
+    anneal_nodes: int = 512,
+    num_aggregators: int = 48,
+    ranks_per_node: int = 16,
+) -> dict:
+    """Optimal-placement solver throughput (exact nodes/s, anneal flips/s).
+
+    Two Theta instances of the coupled assignment problem from
+    :mod:`repro.placement_opt`: a small one where branch-and-bound proves
+    the optimum (more partitions than nodes, so co-location is forced and
+    the search actually branches — throughput is explored search nodes per
+    second), and a large one driven by the annealer (throughput is proposed
+    flips per second).
+    """
+    from repro.core.partitioning import build_partitions
+    from repro.core.topology_iface import TopologyInterface
+    from repro.machine.theta import ThetaMachine
+    from repro.placement_opt.anneal import anneal
+    from repro.placement_opt.exact import branch_and_bound
+    from repro.placement_opt.problem import (
+        PlacementProblem,
+        assignment_cost,
+        greedy_choice,
+    )
+    from repro.topology.mapping import block_mapping
+    from repro.workloads.hacc import HACCIOWorkload
+
+    def problem_for(nodes: int) -> PlacementProblem:
+        machine = ThetaMachine(nodes)
+        num_ranks = nodes * ranks_per_node
+        workload = HACCIOWorkload(num_ranks, 25_000, layout="aos")
+        mapping = block_mapping(num_ranks, machine.num_nodes, ranks_per_node)
+        iface = TopologyInterface(machine, mapping)
+        partitions = build_partitions(
+            workload, num_aggregators, machine=machine, mapping=mapping
+        )
+        return PlacementProblem.from_partitions(partitions, iface)
+
+    def gap_percent(problem: PlacementProblem, cost: float) -> float:
+        greedy_cost = assignment_cost(problem, greedy_choice(problem))
+        if greedy_cost <= 0.0:
+            return 0.0
+        return 100.0 * max(0.0, (greedy_cost - cost) / greedy_cost)
+
+    _fresh_state()
+    exact_problem = problem_for(exact_nodes)
+    exact_solution, exact_wall = _timed(lambda: branch_and_bound(exact_problem))
+    _fresh_state()
+    anneal_problem = problem_for(anneal_nodes)
+    anneal_solution, anneal_wall = _timed(
+        lambda: anneal(anneal_problem, seed=2017)
+    )
+    return {
+        "exact": {
+            "nodes": exact_nodes,
+            "num_aggregators": num_aggregators,
+            "nodes_explored": exact_solution.nodes_explored,
+            "proven_optimal": exact_solution.proven_optimal,
+            "gap_percent": gap_percent(exact_problem, exact_solution.cost_s),
+            "wall_s": exact_wall,
+            "nodes_per_s": exact_solution.nodes_explored / exact_wall,
+        },
+        "anneal": {
+            "nodes": anneal_nodes,
+            "num_aggregators": num_aggregators,
+            "flips": anneal_solution.flips,
+            "gap_percent": gap_percent(anneal_problem, anneal_solution.cost_s),
+            "wall_s": anneal_wall,
+            "flips_per_s": anneal_solution.flips / anneal_wall,
+        },
+    }
+
+
 def bench_tune(
     target: str = "fig08", *, budget: int = 64, scale: float = 1.0
 ) -> dict:
@@ -297,6 +372,8 @@ def run_suite(
         results[f"placement_{kind}"] = bench_placement(
             kind, nodes=nodes, num_aggregators=num_aggregators
         )
+    progress("placement-opt: exact at 32 nodes, anneal at 512 nodes")
+    results["placement_opt"] = bench_placement_opt()
     progress(f"tune/{tune_target}: budget {tune_budget} at scale {tune_scale:g}")
     results["tune"] = bench_tune(tune_target, budget=tune_budget, scale=tune_scale)
     progress(f"run-all at scale {run_all_scale:g}")
@@ -329,6 +406,20 @@ def render_suite(payload: dict) -> str:
             f"  placement/{kind:<6} {entry['fast']['candidates_per_s']:>10,.0f} "
             f"candidates/s  (scalar {entry['scalar']['candidates_per_s']:,.0f}, "
             f"speedup {entry['speedup']:.1f}x)"
+        )
+    opt = results.get("placement_opt")
+    if opt is not None:
+        exact, annealed = opt["exact"], opt["anneal"]
+        lines.append(
+            f"  placement-opt/exact  {exact['nodes_per_s']:>7,.0f} nodes/s     "
+            f"({exact['nodes_explored']:,} explored at {exact['nodes']} nodes, "
+            f"{'proven' if exact['proven_optimal'] else 'UNPROVEN'}, "
+            f"gap {exact['gap_percent']:.3f}%)"
+        )
+        lines.append(
+            f"  placement-opt/anneal {annealed['flips_per_s']:>7,.0f} flips/s     "
+            f"({annealed['flips']:,} flips at {annealed['nodes']} nodes, "
+            f"gap {annealed['gap_percent']:.3f}%)"
         )
     tune = results.get("tune")
     if tune is not None:
@@ -411,6 +502,8 @@ def history_row(name: str, payload: dict) -> dict:
         "created_utc": payload.get("created_utc") or "?",
         "placement_cand_per_s": get("placement_theta", "fast", "candidates_per_s"),
         "placement_speedup": get("placement_theta", "speedup"),
+        "opt_exact_nodes_per_s": get("placement_opt", "exact", "nodes_per_s"),
+        "opt_anneal_flips_per_s": get("placement_opt", "anneal", "flips_per_s"),
         "tune_points_per_s": get("tune", "fast", "points_per_s"),
         "run_all_wall_s": get("run_all", "wall_s"),
         "serve_cold_req_per_s": get("serve", "cold", "requests_per_s"),
@@ -423,6 +516,8 @@ def render_history(rows: list[dict], *, as_csv: bool = False) -> str:
         ("name", "artifact", "{}"),
         ("git_sha", "commit", "{}"),
         ("placement_cand_per_s", "placement cand/s", "{:,.0f}"),
+        ("opt_exact_nodes_per_s", "exact nodes/s", "{:,.0f}"),
+        ("opt_anneal_flips_per_s", "anneal flips/s", "{:,.0f}"),
         ("tune_points_per_s", "tune points/s", "{:,.1f}"),
         ("run_all_wall_s", "run-all wall s", "{:.2f}"),
         ("serve_cold_req_per_s", "serve req/s", "{:,.1f}"),

@@ -13,7 +13,7 @@ from __future__ import annotations
 from difflib import get_close_matches
 from typing import Any, Callable, Mapping
 
-from repro.experiments import ablations, autotuning, figures, interference
+from repro.experiments import ablations, autotuning, figures, interference, optimality
 from repro.experiments.results import ExperimentResult
 
 #: Registry mapping experiment ids to their reproduction functions.  Each
@@ -41,6 +41,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "interference_bb_drain": interference.interference_bb_drain,
     "tuning_theta_rediscovery": autotuning.tuning_theta_rediscovery,
     "tuning_interference_aware": autotuning.tuning_interference_aware,
+    "placement_optimality": optimality.placement_optimality,
 }
 
 
@@ -90,8 +91,40 @@ def _run_registered(
     if experiment_id not in EXPERIMENTS:
         raise KeyError(unknown_experiment_message(experiment_id))
     if overrides:
-        return EXPERIMENTS[experiment_id](scale, overrides)
+        result = EXPERIMENTS[experiment_id](scale, overrides)
+        _maybe_certify(experiment_id, scale, overrides, result)
+        return result
     return EXPERIMENTS[experiment_id](scale)
+
+
+def _maybe_certify(
+    experiment_id: str,
+    scale: float,
+    overrides: Mapping[str, Any],
+    result: ExperimentResult,
+) -> None:
+    """Opportunistically certify the greedy placement's optimality gap.
+
+    Only engages when the caller explicitly asked for it (``--set
+    placement.certify=true``), so certify-off runs — and their artifacts —
+    are bit-for-bit what they were before this hook existed.  Experiments
+    without a certifiable base scenario (multi-job, MPI-IO, or simply not
+    registered as a scenario) are skipped silently: certification is an
+    annotation, never a reason for a run to fail.
+    """
+    if not overrides.get("placement.certify"):
+        return
+    if result.optimality_gap is not None:
+        return  # the experiment certified itself
+    from repro.placement_opt.certify import maybe_certify_result
+    from repro.scenario.registry import get_scenario
+    from repro.scenario.spec import ScenarioError
+
+    try:
+        scenario = get_scenario(experiment_id, scale=scale).with_overrides(overrides)
+        maybe_certify_result(result, scenario)
+    except (KeyError, ScenarioError):
+        return
 
 
 def run_experiment(

@@ -9,6 +9,23 @@ from typing import Mapping
 
 from repro.utils.tables import Table
 
+#: Gaps below this fraction render as "0.000% (within tolerance)": the
+#: coupled objective is a sum of O(partitions) float terms, so two
+#: placements whose costs agree to ~1e-9 relative are indistinguishable —
+#: a "gap" that small is accumulated rounding, not a placement difference.
+GAP_RENDER_TOLERANCE = 1e-9
+
+
+def format_optimality_gap(gap: float) -> str:
+    """Render an optimality gap fraction as a percentage string.
+
+    Gaps within :data:`GAP_RENDER_TOLERANCE` are reported as a clean zero so
+    floating-point dust never reads as a real suboptimality claim.
+    """
+    if gap <= GAP_RENDER_TOLERANCE:
+        return "0.000% (within tolerance)"
+    return f"{100.0 * gap:.3f}%"
+
 
 @dataclass(frozen=True)
 class SeriesPoint:
@@ -72,6 +89,11 @@ class ExperimentResult:
             benchmark suite asserts that every check passed.
         paper_reference: what the paper reports, for EXPERIMENTS.md.
         notes: free-form commentary (deviations, substitutions).
+        optimality_gap: the greedy placement's certified optimality gap as
+            a fraction (see :mod:`repro.placement_opt`); ``None`` — the
+            default, and the only value old artifacts carry — means the
+            experiment was not certified and is omitted from serialisation
+            so uncertified artifacts stay byte-identical.
     """
 
     experiment_id: str
@@ -82,6 +104,7 @@ class ExperimentResult:
     checks: dict[str, bool] = field(default_factory=dict)
     paper_reference: str = ""
     notes: str = ""
+    optimality_gap: float | None = None
 
     # -- serialisation ------------------------------------------------------
     #
@@ -93,7 +116,7 @@ class ExperimentResult:
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-serialisable; inverse of :meth:`from_dict`)."""
-        return {
+        payload = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "machine": self.machine,
@@ -112,6 +135,9 @@ class ExperimentResult:
             "paper_reference": self.paper_reference,
             "notes": self.notes,
         }
+        if self.optimality_gap is not None:
+            payload["optimality_gap"] = self.optimality_gap
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExperimentResult":
@@ -135,6 +161,9 @@ class ExperimentResult:
             checks=dict(payload["checks"]),
             paper_reference=payload.get("paper_reference", ""),
             notes=payload.get("notes", ""),
+            # Absent from every pre-certification artifact: .get() keeps
+            # `repro report --from` working against old artifact stores.
+            optimality_gap=payload.get("optimality_gap"),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -182,6 +211,10 @@ class ExperimentResult:
         lines.append("Checks:")
         for name, passed in self.checks.items():
             lines.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+        if self.optimality_gap is not None:
+            lines.append(
+                f"Optimality gap: {format_optimality_gap(self.optimality_gap)}"
+            )
         if self.paper_reference:
             lines.append(f"Paper reference: {self.paper_reference}")
         if self.notes:

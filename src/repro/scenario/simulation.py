@@ -394,6 +394,13 @@ class Simulation:
             f"{resolved.workload.name} on {resolved.machine.num_nodes} nodes, "
             f"{resolved.ranks_per_node} ranks/node"
         )
+        if self.scenario.placement.certify and self.scenario.io.kind == "tapioca":
+            # Imported lazily for the same layering reason as the result
+            # containers above; default-off so uncertified runs (and their
+            # artifacts) are untouched.
+            from repro.placement_opt.certify import maybe_certify_result
+
+            maybe_certify_result(result, self.scenario)
         return result
 
     def _run_multijob(self) -> "ExperimentResult":

@@ -324,11 +324,15 @@ class PlacementSpec:
         partition_by: ``"contiguous"`` rank blocks or one partition group
             per machine I/O partition (``"pset"``).
         seed: RNG seed for the ``"random"`` strategy.
+        certify: opportunistically certify the greedy election's optimality
+            gap (:mod:`repro.placement_opt`) and attach it to the result.
+            Default off so existing artifacts stay byte-identical.
     """
 
     strategy: str = "topology-aware"
     partition_by: str = "contiguous"
     seed: int | None = None
+    certify: bool = False
 
     def __post_init__(self) -> None:
         require(
@@ -339,6 +343,10 @@ class PlacementSpec:
         require(
             self.partition_by in ("contiguous", "pset"),
             f"partition_by must be 'contiguous' or 'pset', got {self.partition_by!r}",
+        )
+        require(
+            isinstance(self.certify, bool),
+            f"certify must be a boolean, got {self.certify!r}",
         )
 
     @classmethod

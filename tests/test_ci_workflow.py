@@ -90,6 +90,66 @@ class TestWorkflowShape:
         assert "--jobs 2" in tune[0]
         assert "--out artifacts/" in tune[0]
 
+    def test_smoke_job_gates_on_an_anneal_tuning_run(self, workflow):
+        commands = [
+            s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]
+        ]
+        tune = [c for c in commands if "repro tune" in c]
+        assert tune, "smoke job must gate on a repro tune run"
+        assert "--strategy anneal" in tune[0], (
+            "the tuning smoke gate must also exercise the anneal strategy"
+        )
+        anneal_line = next(
+            line for line in tune[0].splitlines() if "--strategy anneal" in line
+        )
+        assert "--budget 6" in anneal_line
+        assert "--out artifacts/" in anneal_line, (
+            "the anneal trace must land in artifacts/ for upload"
+        )
+
+    def test_smoke_job_gates_on_placement_certification(self, workflow):
+        commands = [
+            s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]
+        ]
+        certify = [
+            c
+            for c in commands
+            if "repro run placement_optimality" in c and "placement.certify=true" in c
+        ]
+        assert certify, (
+            "smoke job must run placement_optimality with placement.certify=true"
+        )
+        assert "--scale 8" in certify[0]
+        assert "optimality_gap" in certify[0], (
+            "the certified gap must be asserted finite in the artifact envelope"
+        )
+        assert "Optimality gap:" in certify[0], (
+            "the rendered gap line must be asserted in the run output"
+        )
+
+    def test_smoke_job_reverifies_artifacts_with_certification_off(self, workflow):
+        commands = [
+            s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]
+        ]
+        reverify = [c for c in commands if "artifacts-plain/" in c]
+        assert reverify, (
+            "smoke job must re-run the default sweep after the certified run "
+            "and compare artifacts against the first run-all"
+        )
+        assert "--no-cache" in reverify[0]
+        assert "wall_time_s" in reverify[0], (
+            "only wall_time_s may be excluded from the byte-identical comparison"
+        )
+        certify_index = next(
+            i for i, c in enumerate(commands) if "placement.certify=true" in c
+        )
+        plain_index = next(
+            i for i, c in enumerate(commands) if "artifacts-plain/" in c
+        )
+        assert certify_index < plain_index, (
+            "the certify-off re-verify must run after the certified run"
+        )
+
     def test_tuning_trace_artifact_is_uploaded(self, workflow):
         steps = workflow["jobs"]["smoke"]["steps"]
         uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]

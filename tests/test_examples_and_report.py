@@ -57,6 +57,12 @@ class TestExamples:
         assert "shared locks: True" in output
         assert "hill-climb: best" in output
 
+    def test_placement_optimality_runs(self, capsys):
+        self._run("placement_optimality.py", [])
+        output = capsys.readouterr().out
+        assert "greedy" in output and "exact" in output and "anneal" in output
+        assert "Certified optimality gap" in output
+
     def test_example_tuning_trace_is_valid(self):
         from repro.autotune.trace import TuningTrace
 

@@ -1,0 +1,452 @@
+"""Tests for the optimal-placement subsystem (repro.placement_opt)."""
+
+import itertools
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.results import (
+    ExperimentResult,
+    Series,
+    format_optimality_gap,
+)
+from repro.placement_opt import (
+    EXACT_NODE_LIMIT,
+    CandidateCost,
+    PartitionCandidates,
+    PlacementProblem,
+    anneal,
+    assignment_cost,
+    branch_and_bound,
+    certify_problem,
+    certify_scenario,
+    greedy_choice,
+    problem_for_scenario,
+)
+from repro.scenario.registry import get_scenario
+from repro.scenario.spec import (
+    IOStrategySpec,
+    MachineSpec,
+    PlacementSpec,
+    Scenario,
+    ScenarioError,
+    WorkloadSpec,
+)
+from repro.utils.rng import seeded_rng
+
+
+def make_problem(spec: list[list[tuple[int, float, float]]]) -> PlacementProblem:
+    """Build a problem from [(node, latency_s, transfer_s), ...] per partition."""
+    partitions = []
+    for index, raw in enumerate(spec):
+        candidates = [
+            CandidateCost(node=node, rank=node * 100, latency_s=lat, transfer_s=xfer)
+            for node, lat, xfer in raw
+        ]
+        candidates.sort(key=lambda c: (c.base_s, c.node))
+        partitions.append(
+            PartitionCandidates(index=index, candidates=tuple(candidates))
+        )
+    return PlacementProblem(partitions)
+
+
+def random_problem(rng, *, max_partitions: int = 5, num_nodes: int = 5):
+    """A random small colliding problem (partitions share a node pool)."""
+    num_partitions = int(rng.integers(2, max_partitions + 1))
+    spec = []
+    for _ in range(num_partitions):
+        count = int(rng.integers(1, num_nodes + 1))
+        nodes = list(rng.permutation(num_nodes))[:count]
+        spec.append(
+            [
+                (int(node), float(rng.random()) * 1e-3, float(rng.random()) * 1e-2)
+                for node in nodes
+            ]
+        )
+    return make_problem(spec)
+
+
+def brute_force_optimum(problem: PlacementProblem) -> float:
+    ranges = [range(len(p.candidates)) for p in problem.partitions]
+    return min(
+        assignment_cost(problem, choice)
+        for choice in itertools.product(*ranges)
+    )
+
+
+class TestProblem:
+    def test_greedy_is_position_zero_and_candidates_sorted(self):
+        problem = make_problem(
+            [[(0, 0.0, 2.0), (1, 0.0, 1.0)], [(2, 1.0, 0.0), (1, 0.0, 0.5)]]
+        )
+        assert greedy_choice(problem) == (0, 0)
+        for part in problem.partitions:
+            bases = [c.base_s for c in part.candidates]
+            assert bases == sorted(bases)
+
+    def test_assignment_cost_scales_shared_transfer_by_multiplicity(self):
+        # Two partitions on the same node: each transfer term doubles.
+        problem = make_problem([[(7, 0.5, 2.0)], [(7, 0.25, 3.0)]])
+        cost = assignment_cost(problem, (0, 0))
+        assert cost == pytest.approx(0.5 + 0.25 + 2 * (2.0 + 3.0))
+
+    def test_assignment_cost_rejects_wrong_arity(self):
+        problem = make_problem([[(0, 0.0, 1.0)]])
+        with pytest.raises(Exception):
+            assignment_cost(problem, (0, 0))
+
+    def test_scenario_problem_matches_machine_and_greedy_election(self):
+        scenario = get_scenario("placement_optimality", scale=8.0)
+        problem, machine_nodes = problem_for_scenario(scenario)
+        assert machine_nodes == scenario.machine.num_nodes
+        assert problem.num_partitions == scenario.io.num_aggregators
+        greedy = greedy_choice(problem)
+        nodes = problem.choice_nodes(greedy)
+        assert len(nodes) == problem.num_partitions
+        assert assignment_cost(problem, greedy) > 0.0
+
+
+class TestExactSolver:
+    def test_matches_brute_force_on_randomized_problems(self):
+        rng = seeded_rng(42)
+        for _ in range(40):
+            problem = random_problem(rng)
+            solution = branch_and_bound(problem)
+            assert solution.proven_optimal
+            assert solution.cost_s == pytest.approx(
+                brute_force_optimum(problem), rel=1e-9
+            )
+
+    def test_never_worse_than_greedy_on_randomized_problems(self):
+        rng = seeded_rng(7)
+        for _ in range(40):
+            problem = random_problem(rng)
+            greedy_cost = assignment_cost(problem, greedy_choice(problem))
+            solution = branch_and_bound(problem)
+            assert solution.cost_s <= greedy_cost * (1 + 1e-12)
+
+    def test_gap_zero_when_candidates_are_disjoint(self):
+        # No shared nodes -> greedy is provably optimal; the warm start
+        # meets the global lower bound, so the proof costs zero search.
+        problem = make_problem(
+            [
+                [(0, 0.1, 1.0), (1, 0.2, 2.0)],
+                [(2, 0.1, 1.0), (3, 0.2, 2.0)],
+                [(4, 0.3, 0.5)],
+            ]
+        )
+        solution = branch_and_bound(problem)
+        assert solution.proven_optimal
+        assert solution.nodes_explored == 0
+        assert solution.cost_s == pytest.approx(
+            assignment_cost(problem, greedy_choice(problem))
+        )
+
+    def test_beats_greedy_when_collision_is_avoidable(self):
+        # Both partitions prefer node 0, but splitting is globally cheaper:
+        # colliding costs 0.1 + 2*(10+10) = 40.1, splitting costs 10 + 11.
+        problem = make_problem(
+            [
+                [(0, 0.0, 10.0), (1, 1.0, 10.0)],
+                [(0, 0.1, 10.0), (2, 1.0, 10.0)],
+            ]
+        )
+        greedy_cost = assignment_cost(problem, greedy_choice(problem))
+        solution = branch_and_bound(problem)
+        assert solution.proven_optimal
+        assert solution.cost_s < greedy_cost
+        assert len(set(problem.choice_nodes(solution.choice))) == 2
+
+    def test_node_limit_returns_best_effort_incumbent(self):
+        problem = make_problem(
+            [
+                [(0, 0.0, 10.0), (1, 1.0, 10.0)],
+                [(0, 0.1, 10.0), (2, 1.0, 10.0)],
+            ]
+        )
+        solution = branch_and_bound(problem, node_limit=1)
+        assert not solution.proven_optimal
+        greedy_cost = assignment_cost(problem, greedy_choice(problem))
+        assert solution.cost_s <= greedy_cost * (1 + 1e-12)
+
+    def test_deterministic(self):
+        rng = seeded_rng(3)
+        problem = random_problem(rng)
+        first = branch_and_bound(problem)
+        second = branch_and_bound(problem)
+        assert first == second
+
+
+class TestAnneal:
+    def test_never_worse_than_warm_start_on_randomized_problems(self):
+        rng = seeded_rng(11)
+        for trial in range(25):
+            problem = random_problem(rng)
+            warm = tuple(
+                int(rng.integers(0, len(p.candidates))) for p in problem.partitions
+            )
+            warm_cost = assignment_cost(problem, warm)
+            solution = anneal(
+                problem, seed=trial, warm_start=warm, steps=200, restarts=1
+            )
+            assert solution.cost_s <= warm_cost * (1 + 1e-12)
+
+    def test_never_beats_the_certified_optimum(self):
+        rng = seeded_rng(13)
+        for trial in range(25):
+            problem = random_problem(rng)
+            exact = branch_and_bound(problem)
+            solution = anneal(problem, seed=trial, steps=300, restarts=2)
+            assert exact.proven_optimal
+            assert solution.cost_s >= exact.cost_s * (1 - 1e-9)
+
+    def test_deterministic_under_fixed_seed(self):
+        rng = seeded_rng(17)
+        problem = random_problem(rng, max_partitions=5, num_nodes=6)
+        first = anneal(problem, seed=99, steps=500)
+        second = anneal(problem, seed=99, steps=500)
+        assert first == second
+        other = anneal(problem, seed=100, steps=500)
+        assert other.cost_s <= assignment_cost(problem, greedy_choice(problem))
+
+    def test_escapes_a_greedy_collision(self):
+        problem = make_problem(
+            [
+                [(0, 0.0, 10.0), (1, 1.0, 10.0)],
+                [(0, 0.1, 10.0), (2, 1.0, 10.0)],
+            ]
+        )
+        greedy_cost = assignment_cost(problem, greedy_choice(problem))
+        solution = anneal(problem, seed=1, steps=500)
+        assert solution.cost_s < greedy_cost
+
+
+class TestCertification:
+    def test_exact_method_at_or_below_node_limit(self):
+        problem = make_problem(
+            [[(0, 0.0, 1.0), (1, 0.5, 1.0)], [(0, 0.1, 1.0), (2, 0.5, 1.0)]]
+        )
+        certificate = certify_problem(problem, machine_nodes=EXACT_NODE_LIMIT)
+        assert certificate.method == "exact"
+        assert certificate.proven_optimal
+        assert certificate.gap >= 0.0
+        assert math.isfinite(certificate.gap_percent)
+
+    def test_anneal_method_above_node_limit(self):
+        problem = make_problem(
+            [[(0, 0.0, 1.0), (1, 0.5, 1.0)], [(0, 0.1, 1.0), (2, 0.5, 1.0)]]
+        )
+        certificate = certify_problem(problem, machine_nodes=EXACT_NODE_LIMIT + 1)
+        assert certificate.method == "anneal"
+        assert not certificate.proven_optimal
+        assert certificate.flips > 0
+        assert certificate.gap >= 0.0
+
+    def test_certify_scenario_skips_multijob_and_non_tapioca(self):
+        multijob = SimpleNamespace(
+            multijob=object(), io=SimpleNamespace(kind="tapioca")
+        )
+        assert certify_scenario(multijob) is None
+        mpiio = Scenario(
+            id="mpiio_cell",
+            title="baseline",
+            machine=MachineSpec(kind="theta", num_nodes=32),
+            workload=WorkloadSpec(kind="hacc", particles_per_rank=25_000),
+            io=IOStrategySpec(kind="mpiio"),
+            placement=PlacementSpec(),
+        )
+        assert certify_scenario(mpiio) is None
+        with pytest.raises(ScenarioError):
+            problem_for_scenario(mpiio)
+
+    def test_certify_scenario_proves_theta_and_mira_at_smoke_scale(self):
+        for overrides in (
+            {"machine.kind": "theta", "machine.num_nodes": 32},
+            {
+                "machine.kind": "mira",
+                "machine.num_nodes": 128,
+                "io.num_aggregators": None,
+                "io.aggregators_per_pset": 16,
+                "placement.partition_by": "pset",
+            },
+        ):
+            scenario = get_scenario("placement_optimality").with_overrides(overrides)
+            certificate = certify_scenario(scenario)
+            assert certificate is not None
+            assert certificate.method == "exact"
+            assert certificate.proven_optimal
+            assert certificate.gap >= 0.0
+
+    def test_simulation_run_attaches_gap_only_when_asked(self):
+        from repro.scenario.simulation import Simulation
+
+        base = get_scenario("placement_optimality").with_overrides(
+            {"machine.num_nodes": 32}
+        )
+        plain = Simulation(base).run()
+        assert plain.optimality_gap is None
+        certified = Simulation(
+            base.with_overrides({"placement.certify": True})
+        ).run()
+        assert certified.optimality_gap is not None
+        assert certified.optimality_gap >= 0.0
+        assert "placement optimality gap" in certified.notes
+
+    def test_certify_spec_field_is_validated_and_default_off(self):
+        assert PlacementSpec().certify is False
+        with pytest.raises(ValueError):
+            PlacementSpec(certify="yes")
+
+
+class TestExperimentFamily:
+    def test_placement_optimality_runs_and_checks_pass(self):
+        from repro.experiments.harness import _run_registered
+
+        result = _run_registered("placement_optimality", scale=8.0)
+        assert all(result.checks.values()), result.checks
+        assert result.optimality_gap is None  # certify is off by default
+        table = result.to_table().render()
+        assert "certified gap (%)" in table
+
+    def test_certify_override_lands_gap_in_result(self):
+        from repro.experiments.harness import _run_registered
+
+        result = _run_registered(
+            "placement_optimality",
+            scale=8.0,
+            overrides={"placement.certify": True},
+        )
+        assert result.optimality_gap is not None
+        assert result.optimality_gap >= 0.0
+
+    def test_certify_override_annotates_other_tapioca_experiments(self):
+        from repro.experiments.harness import _run_registered
+
+        result = _run_registered(
+            "ablation_pipelining", scale=8.0, overrides={"placement.certify": True}
+        )
+        assert result.optimality_gap is not None
+        assert result.optimality_gap >= 0.0
+
+    def test_certify_override_is_harmless_on_uncertifiable_experiments(self):
+        from repro.experiments.harness import _run_registered
+
+        result = _run_registered(
+            "interference_theta_ost",
+            scale=8.0,
+            overrides={"placement.certify": True},
+        )
+        assert result.optimality_gap is None
+
+
+class TestResultEnvelope:
+    def _result(self, gap):
+        series = Series("x")
+        series.add(0, 1.0)
+        result = ExperimentResult(
+            experiment_id="placement_optimality",
+            title="t",
+            machine="m",
+            x_label="x",
+            series=[series],
+            checks={"ok": True},
+        )
+        result.optimality_gap = gap
+        return result
+
+    def test_gap_omitted_from_payload_when_absent(self):
+        payload = self._result(None).to_dict()
+        assert "optimality_gap" not in payload
+        assert ExperimentResult.from_dict(payload).optimality_gap is None
+
+    def test_gap_round_trips_when_present(self):
+        payload = self._result(0.0125).to_dict()
+        assert payload["optimality_gap"] == 0.0125
+        restored = ExperimentResult.from_dict(payload)
+        assert restored.optimality_gap == 0.0125
+        assert "Optimality gap: 1.250%" in restored.render()
+
+    def test_old_artifacts_without_the_key_map_to_none(self):
+        payload = self._result(0.5).to_dict()
+        del payload["optimality_gap"]
+        assert ExperimentResult.from_dict(payload).optimality_gap is None
+
+    def test_format_optimality_gap_tolerance(self):
+        assert format_optimality_gap(0.0) == "0.000% (within tolerance)"
+        assert format_optimality_gap(1e-12) == "0.000% (within tolerance)"
+        assert format_optimality_gap(0.0125) == "1.250%"
+
+    def test_report_section_renders_gap_and_skips_when_absent(self):
+        from repro.experiments.report import _section
+
+        with_gap = _section(self._result(0.01))
+        assert "*Placement optimality gap:* 1.000%" in with_gap
+        without = _section(self._result(None))
+        assert "Placement optimality gap" not in without
+
+
+class TestAnnealTunerStrategy:
+    def test_registered_and_instantiable(self):
+        from repro.autotune.strategies import get_strategy, strategy_names
+
+        assert "anneal" in strategy_names()
+        strategy = get_strategy("anneal")
+        assert strategy.name == "anneal"
+
+    def test_tunes_fig08_within_budget(self):
+        from repro.autotune.defaults import as_tunable, suggest_space
+        from repro.autotune.tuner import TuneTarget, Tuner
+
+        def builder(divisor: float):
+            return as_tunable(get_scenario("fig08", scale=divisor))
+
+        base = builder(16.0)
+        tuner = Tuner(
+            TuneTarget(name=base.id, builder=builder, scale=16.0),
+            suggest_space(base),
+            None,
+            jobs=1,
+            seed=2017,
+        )
+        trace = tuner.tune("anneal", 5)
+        assert trace.strategy == "anneal"
+        assert trace.evaluations() <= 5
+        assert trace.best_point() is not None
+
+
+class TestBenchCase:
+    def test_bench_placement_opt_reports_throughputs(self):
+        from repro.experiments.bench import bench_placement_opt
+
+        payload = bench_placement_opt(exact_nodes=32, anneal_nodes=64)
+        assert payload["exact"]["proven_optimal"]
+        assert payload["exact"]["nodes_per_s"] > 0
+        assert payload["exact"]["gap_percent"] >= 0.0
+        assert payload["anneal"]["flips"] > 0
+        assert payload["anneal"]["flips_per_s"] > 0
+
+    def test_history_row_and_columns_pick_up_the_new_case(self):
+        from repro.experiments.bench import history_row, render_history
+
+        new = history_row(
+            "BENCH_8.json",
+            {
+                "results": {
+                    "placement_opt": {
+                        "exact": {"nodes_per_s": 1_000_000.0},
+                        "anneal": {"flips_per_s": 90_000.0},
+                    }
+                }
+            },
+        )
+        assert new["opt_exact_nodes_per_s"] == 1_000_000.0
+        assert new["opt_anneal_flips_per_s"] == 90_000.0
+        old = history_row("BENCH_5.json", {"results": {}})
+        assert old["opt_exact_nodes_per_s"] is None
+        rendered = render_history([old, new])
+        assert "exact nodes/s" in rendered and "anneal flips/s" in rendered
+        assert "1,000,000" in rendered
+        # Pre-subsystem artifacts render as "-" in the new columns.
+        old_line = rendered.splitlines()[2]
+        assert "-" in old_line
