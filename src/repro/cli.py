@@ -24,6 +24,11 @@ Usage (after ``pip install -e .``)::
     python -m repro profile fig08 --scale 8    # per-phase time breakdown
     python -m repro run fig08 --trace t.json   # ...any run with a Chrome trace
     python -m repro bench --history            # BENCH_*.json trajectory table
+    python -m repro figures --all --from artifacts/ --out figures/
+                                               # paper figures + deviation report
+    python -m repro dash --check               # perf dashboard, gate on floors
+    python -m repro diff-artifacts artifacts/ artifacts-b/ --ignore wall_time_s
+                                               # CI's byte-identity check
 
 ``run``, ``run-all``, ``tune`` and ``serve`` accept ``--trace FILE``: the
 observability recorder (:mod:`repro.obs`) is enabled for the process and a
@@ -441,7 +446,8 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
         render_history,
     )
 
-    history = load_history(args.history_root)
+    warn = lambda message: print(f"warning: {message}", file=sys.stderr)  # noqa: E731
+    history = load_history(args.history_root, on_warning=warn)
     if not history:
         print(f"no BENCH_*.json artifacts under {args.history_root}", file=sys.stderr)
         return 1
@@ -630,6 +636,83 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     print(tapioca.summary())
     print(mpiio.summary())
     print(f"speedup: {tapioca.bandwidth / mpiio.bandwidth:.2f}x")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Reporting: paper figures, the bench dashboard, artifact diffing
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    """Render paper figures as CSV (+ plots) straight from stored artifacts."""
+    from repro.reporting import render_figures
+    from repro.reporting.figures import FIGURES, resolve_figure_ids
+
+    if not args.figures and not args.all:
+        args.parser.error(
+            f"name at least one figure or pass --all "
+            f"(figures: {', '.join(FIGURES)})"
+        )
+    try:
+        ids = resolve_figure_ids([] if args.all else args.figures)
+    except KeyError as error:
+        args.parser.error(str(error.args[0]))
+    store = _open_store(args.parser, args.from_spec)
+    report = render_figures(store, ids, args.out)
+    print(report.summary())
+    if report.skipped:
+        print(
+            f"error: no stored artifact for: {', '.join(report.skipped)} "
+            f"(run `repro run-all --out {args.from_spec}` first; figures "
+            f"never re-simulate)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and not report.passed():
+        print(
+            "error: deviation beyond documented tolerance "
+            f"(see {report.report_path})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Render the BENCH_*.json trajectory and gate on the per-metric floors."""
+    from repro.reporting import render_dashboard
+
+    report = render_dashboard(args.history_root, args.out)
+    print(report.summary())
+    if not report.rows:
+        print(
+            f"error: no BENCH_*.json artifacts under {args.history_root}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and not report.passed():
+        return 1
+    return 0
+
+
+def _cmd_diff_artifacts(args: argparse.Namespace) -> int:
+    """Compare two artifact directories, ignoring the given envelope keys."""
+    from repro.experiments.diff import compare_artifact_dirs, comparable_artifact_names
+
+    for directory in (args.dir_a, args.dir_b):
+        if not Path(directory).is_dir():
+            args.parser.error(f"not a directory: {directory}")
+    problems = compare_artifact_dirs(
+        args.dir_a, args.dir_b, ignore=tuple(args.ignore or ())
+    )
+    compared = len(comparable_artifact_names(args.dir_a))
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    ignored = ", ".join(args.ignore or ()) or "nothing"
+    print(f"{compared} artifacts identical (ignoring {ignored})")
     return 0
 
 
@@ -1073,6 +1156,85 @@ def build_parser() -> argparse.ArgumentParser:
     estimate_parser.add_argument("--aggregators", type=_positive_int, default=192)
     estimate_parser.add_argument("--buffer-mib", type=_positive_int, default=16)
     estimate_parser.set_defaults(func=_cmd_estimate)
+
+    figures_parser = subparsers.add_parser(
+        "figures",
+        help="render paper figures (CSV always, PNG/SVG with matplotlib) "
+        "from stored artifacts, with deviations vs the digitised paper values",
+    )
+    figures_parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIG",
+        help="figure ids to render (fig07..fig14, table1, headline)",
+    )
+    figures_parser.add_argument(
+        "--all", action="store_true", help="render every registered figure"
+    )
+    figures_parser.add_argument(
+        "--from",
+        dest="from_spec",
+        required=True,
+        metavar="SPEC",
+        help="artifact store to render from (a directory, dir:DIR, "
+        "sharded:DIR, or sqlite:FILE.db); rendering never re-simulates",
+    )
+    figures_parser.add_argument(
+        "--out",
+        default="figures",
+        metavar="DIR",
+        help="output directory for CSV/plots and deviation_report.json "
+        "(default: figures/)",
+    )
+    figures_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any figure's RMS shape deviation exceeds its "
+        "documented tolerance",
+    )
+    add_trace_option(figures_parser)
+    figures_parser.set_defaults(func=_cmd_figures, parser=figures_parser)
+
+    dash_parser = subparsers.add_parser(
+        "dash",
+        help="render the BENCH_*.json perf trajectory as CSV (+ plot) and "
+        "check every metric against its regression floor",
+    )
+    dash_parser.add_argument(
+        "--history-root",
+        default=".",
+        metavar="DIR",
+        help="where to look for BENCH_*.json (default: the current directory)",
+    )
+    dash_parser.add_argument(
+        "--out",
+        default="figures",
+        metavar="DIR",
+        help="output directory for dashboard.csv and plots (default: figures/)",
+    )
+    dash_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any metric's latest observation breaches its floor",
+    )
+    add_trace_option(dash_parser)
+    dash_parser.set_defaults(func=_cmd_dash, parser=dash_parser)
+
+    diff_parser = subparsers.add_parser(
+        "diff-artifacts",
+        help="compare two artifact directories' experiment envelopes "
+        "(CI's byte-identity check)",
+    )
+    diff_parser.add_argument("dir_a", metavar="DIR_A")
+    diff_parser.add_argument("dir_b", metavar="DIR_B")
+    diff_parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="KEY",
+        help="top-level envelope key excluded from the comparison "
+        "(e.g. wall_time_s); may be repeated",
+    )
+    diff_parser.set_defaults(func=_cmd_diff_artifacts, parser=diff_parser)
 
     profile_parser = subparsers.add_parser(
         "profile",

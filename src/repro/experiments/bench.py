@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import re
 import time
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable
 
@@ -459,12 +460,122 @@ def render_suite(payload: dict) -> str:
 _BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
 
 
-def load_history(root: str | Path = ".") -> list[tuple[str, dict]]:
+@dataclass(frozen=True)
+class HistoryMetric:
+    """One column of the benchmark trajectory.
+
+    The single extraction table shared by ``repro bench --history`` and the
+    ``repro dash`` dashboard: adding a metric here makes it appear in both
+    (older BENCH files that predate it backfill as ``"-"``).
+
+    Attributes:
+        key: the row-dict key and CSV column stem.
+        header: the rendered column header.
+        path: the key path into a BENCH payload's ``results`` dict.
+        fmt: ``str.format`` spec for table cells.
+        floor: regression threshold, or ``None`` for unguarded metrics.
+            With ``higher_is_better`` (the default) a value *below* the
+            floor regresses; otherwise the floor is a ceiling (wall time).
+        higher_is_better: direction of the metric.
+    """
+
+    key: str
+    header: str
+    path: tuple[str, ...]
+    fmt: str = "{:,.1f}"
+    floor: float | None = None
+    higher_is_better: bool = True
+
+    def extract(self, payload: dict):
+        """This metric's value from a BENCH payload (``None`` if absent)."""
+        node = payload.get("results", {})
+        for part in self.path:
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return node
+
+    def breach(self, value: float | None) -> str | None:
+        """A regression message if ``value`` crosses the floor, else ``None``."""
+        if self.floor is None or value is None:
+            return None
+        if self.higher_is_better and value < self.floor:
+            return (
+                f"{self.header} {self.fmt.format(value)} is below the "
+                f"{self.fmt.format(self.floor)} floor"
+            )
+        if not self.higher_is_better and value > self.floor:
+            return (
+                f"{self.header} {self.fmt.format(value)} is above the "
+                f"{self.fmt.format(self.floor)} ceiling"
+            )
+        return None
+
+
+#: The trajectory metrics, in column order.  Floors sit well below (or,
+#: for wall time, above) every committed BENCH_*.json value, so they gate
+#: order-of-magnitude regressions without flaking on shared-runner noise.
+HISTORY_METRICS: tuple[HistoryMetric, ...] = (
+    HistoryMetric(
+        "placement_cand_per_s",
+        "placement cand/s",
+        ("placement_theta", "fast", "candidates_per_s"),
+        "{:,.0f}",
+        floor=PLACEMENT_FLOOR_CANDIDATES_PER_S,
+    ),
+    HistoryMetric(
+        "opt_exact_nodes_per_s",
+        "exact nodes/s",
+        ("placement_opt", "exact", "nodes_per_s"),
+        "{:,.0f}",
+        floor=100_000.0,
+    ),
+    HistoryMetric(
+        "opt_anneal_flips_per_s",
+        "anneal flips/s",
+        ("placement_opt", "anneal", "flips_per_s"),
+        "{:,.0f}",
+        floor=10_000.0,
+    ),
+    HistoryMetric(
+        "tune_points_per_s",
+        "tune points/s",
+        ("tune", "fast", "points_per_s"),
+        floor=30.0,
+    ),
+    HistoryMetric(
+        "run_all_wall_s",
+        "run-all wall s",
+        ("run_all", "wall_s"),
+        "{:.2f}",
+        floor=60.0,
+        higher_is_better=False,
+    ),
+    HistoryMetric(
+        "serve_cold_req_per_s",
+        "serve req/s",
+        ("serve", "cold", "requests_per_s"),
+        floor=20.0,
+    ),
+)
+
+
+def load_history(
+    root: str | Path = ".", *, on_warning=None
+) -> list[tuple[str, dict]]:
     """Every ``BENCH_<n>.json`` under ``root``, ordered by ``n``.
 
-    Returns ``(filename, payload)`` pairs; unparseable files are skipped
-    (the history should survive one corrupt artifact).
+    Returns ``(filename, payload)`` pairs.  Files with corrupt JSON, a
+    non-object payload, or a missing/unknown ``schema`` key are skipped —
+    the history must survive one bad artifact — with a one-line warning
+    per skip through ``on_warning`` (a ``callable(str)``; ``None`` skips
+    silently, preserving the historical behaviour).
     """
+
+    def warn(message: str) -> None:
+        if on_warning is not None:
+            on_warning(message)
+
     entries: list[tuple[int, str, dict]] = []
     for path in Path(root).iterdir():
         match = _BENCH_NAME.match(path.name)
@@ -472,9 +583,22 @@ def load_history(root: str | Path = ".") -> list[tuple[str, dict]]:
             continue
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            warn(f"skipping {path.name}: unreadable JSON ({exc})")
             continue
         if not isinstance(payload, dict):
+            warn(f"skipping {path.name}: payload is not a JSON object")
+            continue
+        schema = payload.get("schema")
+        if schema != BENCH_SCHEMA:
+            warn(
+                f"skipping {path.name}: "
+                + (
+                    "missing schema key"
+                    if schema is None
+                    else f"unknown schema {schema!r}"
+                )
+            )
             continue
         entries.append((int(match.group(1)), path.name, payload))
     return [(name, payload) for _, name, payload in sorted(entries)]
@@ -486,41 +610,23 @@ def history_row(name: str, payload: dict) -> dict:
     Keys are ``None`` where an artifact predates a benchmark (the serve
     suite, for instance, only exists from ``BENCH_6`` on).
     """
-    results = payload.get("results", {})
-
-    def get(*keys, default=None):
-        node = results
-        for key in keys:
-            if not isinstance(node, dict) or key not in node:
-                return default
-            node = node[key]
-        return node
-
-    return {
+    row = {
         "name": name,
         "git_sha": payload.get("git_sha") or "?",
         "created_utc": payload.get("created_utc") or "?",
-        "placement_cand_per_s": get("placement_theta", "fast", "candidates_per_s"),
-        "placement_speedup": get("placement_theta", "speedup"),
-        "opt_exact_nodes_per_s": get("placement_opt", "exact", "nodes_per_s"),
-        "opt_anneal_flips_per_s": get("placement_opt", "anneal", "flips_per_s"),
-        "tune_points_per_s": get("tune", "fast", "points_per_s"),
-        "run_all_wall_s": get("run_all", "wall_s"),
-        "serve_cold_req_per_s": get("serve", "cold", "requests_per_s"),
+        "placement_speedup": HistoryMetric(
+            "placement_speedup", "placement speedup", ("placement_theta", "speedup")
+        ).extract(payload),
     }
+    for metric in HISTORY_METRICS:
+        row[metric.key] = metric.extract(payload)
+    return row
 
 
 def render_history(rows: list[dict], *, as_csv: bool = False) -> str:
     """The benchmark trajectory as a table (or CSV with ``as_csv``)."""
-    columns = [
-        ("name", "artifact", "{}"),
-        ("git_sha", "commit", "{}"),
-        ("placement_cand_per_s", "placement cand/s", "{:,.0f}"),
-        ("opt_exact_nodes_per_s", "exact nodes/s", "{:,.0f}"),
-        ("opt_anneal_flips_per_s", "anneal flips/s", "{:,.0f}"),
-        ("tune_points_per_s", "tune points/s", "{:,.1f}"),
-        ("run_all_wall_s", "run-all wall s", "{:.2f}"),
-        ("serve_cold_req_per_s", "serve req/s", "{:,.1f}"),
+    columns = [("name", "artifact", "{}"), ("git_sha", "commit", "{}")] + [
+        (metric.key, metric.header, metric.fmt) for metric in HISTORY_METRICS
     ]
 
     def cell(row: dict, key: str, fmt: str) -> str:
@@ -554,23 +660,28 @@ def render_history(rows: list[dict], *, as_csv: bool = False) -> str:
 def history_regressions(
     rows: list[dict], *, floor: float = PLACEMENT_FLOOR_CANDIDATES_PER_S
 ) -> list[str]:
-    """Human-readable regression messages for the *latest* trajectory point.
+    """Human-readable regression messages for the latest trajectory points.
 
-    The only hard gate is the placement throughput floor — the number the
-    fast path exists to protect.  Serve-only artifacts carry no placement
-    number, so the gate applies to the newest row that has one.  An empty
-    list means the history is clean.
+    Every metric in :data:`HISTORY_METRICS` that declares a floor is gated
+    against the newest row that records it — BENCH artifacts are partial
+    (a serve-only artifact carries no placement number), so each metric
+    finds its own latest observation.  ``floor`` overrides the placement
+    throughput floor for back-compat with the original single-gate API.
+    An empty list means the history is clean.
     """
-    latest = next(
-        (row for row in reversed(rows) if row.get("placement_cand_per_s") is not None),
-        None,
-    )
-    if latest is None:
-        return []
-    placement = latest["placement_cand_per_s"]
-    if placement < floor:
-        return [
-            f"{latest['name']}: placement throughput {placement:,.0f} cand/s is "
-            f"below the {floor:,.0f} cand/s floor"
-        ]
-    return []
+    problems: list[str] = []
+    for metric in HISTORY_METRICS:
+        if metric.key == "placement_cand_per_s":
+            metric = replace(metric, floor=floor)
+        if metric.floor is None:
+            continue
+        latest = next(
+            (row for row in reversed(rows) if row.get(metric.key) is not None),
+            None,
+        )
+        if latest is None:
+            continue
+        message = metric.breach(latest[metric.key])
+        if message is not None:
+            problems.append(f"{latest['name']}: {message}")
+    return problems

@@ -1,0 +1,94 @@
+"""Artifact-directory comparison behind ``repro diff-artifacts``.
+
+CI re-runs the experiment sweep under different switches (tracing on,
+certification off) and asserts the artifact envelopes are byte-identical
+except for wall time.  That check used to live as two duplicated inline
+python blocks in the workflow; this module is the single implementation,
+unit-testable and reusable from the command line::
+
+    repro diff-artifacts artifacts/ artifacts-traced/ --ignore wall_time_s
+
+Only top-level experiment envelopes are compared: ``manifest.json`` (hosts
+wall times and git SHAs by design), ``trace.json`` (only one run traces)
+and ``*.tuning.json`` traces are excluded, mirroring the historical CI
+blocks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.experiments.store import MANIFEST_NAME, TUNING_TRACE_STEM
+
+#: File names never compared (manifest carries wall times/SHAs by design;
+#: the Chrome trace only exists in traced runs).
+EXCLUDED_NAMES = (MANIFEST_NAME, "trace.json")
+
+
+def comparable_artifact_names(directory: str | Path) -> list[str]:
+    """The experiment-envelope file names under ``directory``, sorted.
+
+    Top-level ``*.json`` files except :data:`EXCLUDED_NAMES` and tuning
+    traces; subdirectories (tuning-points/, scenario-results/) are cache
+    internals and never compared.
+    """
+    names = []
+    for path in Path(directory).glob("*.json"):
+        if path.name in EXCLUDED_NAMES:
+            continue
+        if path.name.endswith(TUNING_TRACE_STEM + ".json"):
+            continue
+        names.append(path.name)
+    return sorted(names)
+
+
+def _load_without(path: Path, ignore: Iterable[str]) -> object:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(payload, dict):
+        for key in ignore:
+            payload.pop(key, None)
+    return payload
+
+
+def compare_artifact_dirs(
+    dir_a: str | Path,
+    dir_b: str | Path,
+    *,
+    ignore: Sequence[str] = (),
+) -> list[str]:
+    """Differences between two artifact directories, as messages.
+
+    Args:
+        dir_a: the reference directory.
+        dir_b: the directory compared against it.
+        ignore: top-level envelope keys excluded from the comparison
+            (``wall_time_s`` in CI — the one legitimately varying field).
+
+    Returns one human-readable message per difference — files present on
+    only one side, unparseable JSON, or envelopes that differ after
+    dropping the ignored keys.  An empty list means the directories agree.
+    """
+    names_a = comparable_artifact_names(dir_a)
+    names_b = comparable_artifact_names(dir_b)
+    problems = [f"only in {dir_a}: {name}" for name in names_a if name not in names_b]
+    problems += [f"only in {dir_b}: {name}" for name in names_b if name not in names_a]
+    for name in sorted(set(names_a) & set(names_b)):
+        try:
+            payload_a = _load_without(Path(dir_a) / name, ignore)
+            payload_b = _load_without(Path(dir_b) / name, ignore)
+        except (OSError, ValueError) as exc:
+            problems.append(f"{name}: unreadable JSON ({exc})")
+            continue
+        if payload_a != payload_b:
+            detail = ""
+            if isinstance(payload_a, dict) and isinstance(payload_b, dict):
+                changed = sorted(
+                    key
+                    for key in set(payload_a) | set(payload_b)
+                    if payload_a.get(key) != payload_b.get(key)
+                )
+                detail = f" (keys: {', '.join(changed)})"
+            problems.append(f"{name}: envelopes differ{detail}")
+    return problems

@@ -1,0 +1,433 @@
+"""Digitised reference values of the paper's figures, and the deviation math.
+
+Every figure/table of the TAPIOCA evaluation (CLUSTER 2017, Figs. 7-14,
+Table I, plus the abstract's headline factors) is recorded here as the
+series a reader can extract from the published plot: per-point ``(x,
+value)`` pairs on the same x grid the reproduction sweeps (the paper's IOR
+sizes and HACC particle counts).  Table I and the headline factors are
+quoted numerically in the paper text and are exact; the curve figures were
+digitised from the published plots at reading precision (roughly one half
+of a minor gridline, ~5%), anchored to every value the text quotes.  The
+full provenance — figure, axis units, extraction method, anchors — is
+documented in ``docs/PAPER_DATA.md``.
+
+Deviation semantics
+-------------------
+
+The reproduction's substrate is a calibrated performance model, not Mira
+or Theta, so **absolute bandwidths are not expected to match** (see the
+EXPERIMENTS.md preamble).  Two deviations are therefore computed per
+point:
+
+* ``deviation`` — the signed relative deviation ``(repro - paper) /
+  paper`` of the raw values.  Recorded for transparency, never gated.
+* ``shape_deviation`` — the signed difference of the *normalised* curves,
+  ``repro/max(repro series) - paper/max(paper series)``.  Normalising
+  each series by its own maximum removes the absolute-calibration gap and
+  leaves the thing the reproduction claims to reproduce: the shape — who
+  wins, where curves rise, where optima lie.
+
+The per-figure tolerance in :data:`TOLERANCES` bounds the RMS of
+``shape_deviation`` over every compared point of the figure.  Tolerances
+were calibrated against the reproduction at scale divisors 1 and 8 with
+roughly 2x headroom, so they act as a *regression gate*: they do not
+certify the model matches the paper, they fail CI when a code change moves
+a reproduced curve away from the shape it reproduced yesterday.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.experiments.results import ExperimentResult, Series
+
+#: Schema tag of ``deviation_report.json``.
+DEVIATION_SCHEMA = "repro-deviation-v1"
+
+#: The paper's IOR data sizes per rank in decimal MB (Figs. 7-10 x axes).
+_IOR_X = (0.2, 0.5, 1.0, 2.0, 3.6)
+
+#: The paper's HACC-IO sizes per rank in decimal MB (Figs. 11-14 x axes):
+#: 5K/10K/25K/50K/100K particles at 38 bytes per particle.
+_HACC_X = (0.19, 0.38, 0.95, 1.9, 3.8)
+
+
+@dataclass(frozen=True)
+class PaperSeries:
+    """One digitised curve of a published figure.
+
+    Attributes:
+        label: the series label, matching the reproduction's series label
+            exactly (``"TAPIOCA AoS"``, ``"Baseline - Read"``...).
+        xs: x values on the reproduction's grid.
+        values: digitised y values, one per x.
+    """
+
+    label: str
+    xs: Sequence[float]
+    values: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.values):
+            raise ValueError(f"paper series {self.label!r}: xs/values length mismatch")
+
+    def at(self, x: float) -> float | None:
+        """The digitised value at ``x`` (float-tolerant), or ``None``."""
+        for px, value in zip(self.xs, self.values):
+            if math.isclose(px, x, rel_tol=1e-9, abs_tol=1e-12):
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class PaperFigure:
+    """The digitised reference data of one published figure or table.
+
+    Attributes:
+        figure_id: the experiment/figure id (``"fig07"``...).
+        caption: where the data comes from in the paper.
+        x_units: meaning and units of the x axis.
+        y_units: meaning and units of the values.
+        series: the digitised curves.
+        exact: ``True`` when the values are quoted numerically in the
+            paper text (Table I, headline factors) rather than read off a
+            plot.
+    """
+
+    figure_id: str
+    caption: str
+    x_units: str
+    y_units: str
+    series: tuple[PaperSeries, ...]
+    exact: bool = False
+
+    def series_by_label(self) -> dict[str, PaperSeries]:
+        return {series.label: series for series in self.series}
+
+
+def _ior(label: str, *values: float) -> PaperSeries:
+    return PaperSeries(label, _IOR_X, values)
+
+
+def _hacc(label: str, *values: float) -> PaperSeries:
+    return PaperSeries(label, _HACC_X, values)
+
+
+#: Digitised reference data, one entry per reproduced figure/table.
+PAPER_FIGURES: dict[str, PaperFigure] = {
+    figure.figure_id: figure
+    for figure in (
+        PaperFigure(
+            "fig07",
+            "Fig. 7: IOR on Mira, 512 nodes, baseline vs user-optimized MPI I/O",
+            "data size per rank (decimal MB)",
+            "I/O bandwidth (GBps)",
+            (
+                _ior("Baseline - Read", 4.5, 5.8, 6.5, 7.0, 7.3),
+                _ior("Optimized - Read", 5.0, 6.4, 7.2, 7.9, 8.2),
+                _ior("Baseline - Write", 0.7, 0.9, 1.2, 1.6, 2.0),
+                _ior("Optimized - Write", 2.2, 3.3, 4.2, 5.2, 6.0),
+            ),
+        ),
+        PaperFigure(
+            "fig08",
+            "Fig. 8: IOR on Theta, 512 nodes, baseline vs user-optimized MPI I/O",
+            "data size per rank (decimal MB)",
+            "I/O bandwidth (GBps)",
+            (
+                _ior("Baseline - Read", 0.72, 0.75, 0.78, 0.79, 0.80),
+                _ior("Optimized - Read", 22.0, 27.0, 31.0, 34.0, 36.0),
+                _ior("Baseline - Write", 0.18, 0.19, 0.20, 0.20, 0.21),
+                _ior("Optimized - Write", 6.0, 7.5, 8.6, 9.4, 10.0),
+            ),
+        ),
+        PaperFigure(
+            "fig09",
+            "Fig. 9: microbenchmark on Mira, 1,024 nodes, TAPIOCA vs MPI I/O",
+            "data size per rank (decimal MB)",
+            "aggregate I/O bandwidth (GBps)",
+            (
+                _ior("TAPIOCA", 8.0, 9.5, 10.8, 11.6, 12.1),
+                _ior("MPI I/O", 7.8, 9.3, 10.6, 11.4, 11.9),
+            ),
+        ),
+        PaperFigure(
+            "fig10",
+            "Fig. 10: microbenchmark on Theta, 512 nodes, TAPIOCA vs MPI I/O",
+            "data size per rank (decimal MB)",
+            "aggregate I/O bandwidth (GBps)",
+            (
+                _ior("TAPIOCA", 5.5, 6.6, 7.6, 8.3, 8.8),
+                _ior("MPI I/O", 3.2, 3.7, 4.1, 4.3, 4.4),
+            ),
+        ),
+        PaperFigure(
+            "table1",
+            "Table I: aggregation buffer size : Lustre stripe size ratio, Theta",
+            "ratio index (1:8, 1:4, 1:2, 1:1, 2:1, 4:1)",
+            "I/O bandwidth (GBps)",
+            (
+                PaperSeries(
+                    "TAPIOCA I/O bandwidth (GBps)",
+                    (0, 1, 2, 3, 4, 5),
+                    (0.36, 0.64, 0.91, 1.57, 1.08, 1.14),
+                ),
+            ),
+            exact=True,
+        ),
+        PaperFigure(
+            "fig11",
+            "Fig. 11: HACC-IO on Mira, 1,024 nodes, one file per Pset",
+            "data size per rank (decimal MB)",
+            "aggregate I/O bandwidth (GBps)",
+            (
+                _hacc("TAPIOCA AoS", 18.0, 19.0, 19.8, 20.1, 20.3),
+                _hacc("MPI I/O AoS", 9.5, 12.0, 14.5, 16.0, 17.0),
+                _hacc("TAPIOCA SoA", 17.8, 18.9, 19.7, 20.0, 20.2),
+                _hacc("MPI I/O SoA", 1.5, 2.4, 5.2, 9.0, 12.5),
+            ),
+        ),
+        PaperFigure(
+            "fig12",
+            "Fig. 12: HACC-IO on Mira, 4,096 nodes, one file per Pset",
+            "data size per rank (decimal MB)",
+            "aggregate I/O bandwidth (GBps)",
+            (
+                _hacc("TAPIOCA AoS", 70.0, 76.0, 81.0, 84.0, 86.0),
+                _hacc("MPI I/O AoS", 38.0, 48.0, 58.0, 64.0, 68.0),
+                _hacc("TAPIOCA SoA", 69.0, 75.0, 80.0, 83.0, 85.0),
+                _hacc("MPI I/O SoA", 6.0, 10.0, 21.0, 36.0, 50.0),
+            ),
+        ),
+        PaperFigure(
+            "fig13",
+            "Fig. 13: HACC-IO on Theta, 1,024 nodes, 48 OSTs, 192 aggregators",
+            "data size per rank (decimal MB)",
+            "aggregate I/O bandwidth (GBps)",
+            (
+                _hacc("TAPIOCA AoS", 8.5, 10.5, 12.6, 13.4, 14.0),
+                _hacc("MPI I/O AoS", 1.0, 1.4, 1.8, 2.6, 3.6),
+                _hacc("TAPIOCA SoA", 8.3, 10.3, 12.4, 13.2, 13.8),
+                _hacc("MPI I/O SoA", 0.8, 1.1, 1.5, 2.2, 3.1),
+            ),
+        ),
+        PaperFigure(
+            "fig14",
+            "Fig. 14: HACC-IO on Theta, 2,048 nodes, 48 OSTs, 384 aggregators",
+            "data size per rank (decimal MB)",
+            "aggregate I/O bandwidth (GBps)",
+            (
+                _hacc("TAPIOCA AoS", 10.0, 12.5, 15.2, 16.4, 17.2),
+                _hacc("MPI I/O AoS", 1.2, 1.7, 2.4, 3.3, 4.3),
+                _hacc("TAPIOCA SoA", 9.8, 12.2, 15.0, 16.2, 17.0),
+                _hacc("MPI I/O SoA", 0.9, 1.3, 1.9, 2.7, 3.6),
+            ),
+        ),
+        PaperFigure(
+            "headline",
+            "Abstract: speedup factors over MPI I/O (BG/Q + GPFS, XC40 + Lustre)",
+            "platform index (0 = Mira, 1 = Theta)",
+            "speedup over MPI I/O (x)",
+            (
+                PaperSeries("Mira speedup (SoA, 5K particles)", (0,), (12.0,)),
+                PaperSeries("Theta speedup (AoS, 100K particles)", (1,), (4.0,)),
+            ),
+            exact=True,
+        ),
+    )
+}
+
+#: Per-figure tolerance on the RMS of ``shape_deviation`` (see the module
+#: docstring: a regression gate on curve shape, not an absolute-accuracy
+#: claim).  Calibrated at scale divisors 1 and 8 with ~2x headroom over
+#: the observed RMS; the Mira figures carry the loosest bounds because the
+#: model's flat BG/Q curves are a documented deviation (EXPERIMENTS.md).
+TOLERANCES: dict[str, float] = {
+    "fig07": 0.45,
+    "fig08": 0.30,
+    "fig09": 0.30,
+    "fig10": 0.25,
+    "table1": 0.45,
+    "fig11": 0.60,
+    "fig12": 0.55,
+    "fig13": 0.45,
+    "fig14": 0.45,
+    "headline": 0.10,
+}
+
+
+@dataclass
+class PointComparison:
+    """One reproduced point next to its digitised paper value."""
+
+    series: str
+    x: float
+    repro: float
+    paper: float
+    deviation: float
+    shape_deviation: float
+
+    def to_dict(self) -> dict:
+        return {
+            "series": self.series,
+            "x": self.x,
+            "repro": self.repro,
+            "paper": self.paper,
+            "deviation": round(self.deviation, 6),
+            "shape_deviation": round(self.shape_deviation, 6),
+        }
+
+
+@dataclass
+class FigureComparison:
+    """The reproduction of one figure measured against the paper's data.
+
+    Attributes:
+        figure_id: which figure was compared.
+        points: every matched point with both deviations.
+        missing_series: paper series absent from the artifact.
+        missing_points: ``(series, x)`` paper points the artifact lacks.
+        tolerance: the documented RMS shape tolerance for this figure.
+    """
+
+    figure_id: str
+    points: list[PointComparison] = field(default_factory=list)
+    missing_series: list[str] = field(default_factory=list)
+    missing_points: list[tuple[str, float]] = field(default_factory=list)
+    tolerance: float | None = None
+
+    def rms_shape_deviation(self) -> float:
+        """RMS of ``shape_deviation`` over every compared point."""
+        if not self.points:
+            return 0.0
+        return math.sqrt(
+            sum(point.shape_deviation**2 for point in self.points) / len(self.points)
+        )
+
+    def worst_point(self) -> PointComparison | None:
+        """The point with the largest absolute shape deviation."""
+        if not self.points:
+            return None
+        return max(self.points, key=lambda point: abs(point.shape_deviation))
+
+    def passed(self) -> bool:
+        """Whether the figure is within its documented tolerance.
+
+        A comparison with no matched points, a missing series, or no
+        documented tolerance fails: silence must not read as agreement.
+        """
+        if self.tolerance is None or not self.points:
+            return False
+        if self.missing_series or self.missing_points:
+            return False
+        return self.rms_shape_deviation() <= self.tolerance
+
+    def to_dict(self) -> dict:
+        worst = self.worst_point()
+        return {
+            "figure": self.figure_id,
+            "points_compared": len(self.points),
+            "rms_shape_deviation": round(self.rms_shape_deviation(), 6),
+            "tolerance": self.tolerance,
+            "pass": self.passed(),
+            "worst_point": None if worst is None else worst.to_dict(),
+            "missing_series": list(self.missing_series),
+            "missing_points": [list(pair) for pair in self.missing_points],
+            "points": [point.to_dict() for point in self.points],
+        }
+
+
+def _shape_norm(series: Series) -> float:
+    peak = max((abs(p.bandwidth_gbps) for p in series.points), default=0.0)
+    return peak if peak > 0.0 else 1.0
+
+
+def compare_result(result: ExperimentResult) -> FigureComparison:
+    """Compare one reproduced result against its digitised paper figure.
+
+    Returns an empty comparison (no points, no tolerance) for experiments
+    without digitised data — ablations and other beyond-paper experiments
+    are not deviations, they have nothing to deviate from.
+    """
+    comparison = FigureComparison(
+        result.experiment_id, tolerance=TOLERANCES.get(result.experiment_id)
+    )
+    figure = PAPER_FIGURES.get(result.experiment_id)
+    if figure is None:
+        comparison.tolerance = None
+        return comparison
+    repro_series = {series.label: series for series in result.series}
+    for paper in figure.series:
+        repro = repro_series.get(paper.label)
+        if repro is None or not repro.points:
+            comparison.missing_series.append(paper.label)
+            continue
+        paper_norm = max((abs(v) for v in paper.values), default=0.0) or 1.0
+        repro_norm = _shape_norm(repro)
+        for x, paper_value in zip(paper.xs, paper.values):
+            try:
+                repro_value = repro.at(x)
+            except KeyError:
+                comparison.missing_points.append((paper.label, x))
+                continue
+            deviation = (
+                (repro_value - paper_value) / paper_value if paper_value else math.inf
+            )
+            comparison.points.append(
+                PointComparison(
+                    series=paper.label,
+                    x=x,
+                    repro=repro_value,
+                    paper=paper_value,
+                    deviation=deviation,
+                    shape_deviation=repro_value / repro_norm - paper_value / paper_norm,
+                )
+            )
+    return comparison
+
+
+def deviation_report(
+    comparisons: Sequence[FigureComparison], *, scales: Sequence[float] = ()
+) -> dict:
+    """The machine-readable ``deviation_report.json`` payload.
+
+    Args:
+        comparisons: one comparison per rendered figure (empty ones —
+            figures without digitised data — are recorded but carry no
+            pass/fail verdict).
+        scales: the scale divisors of the artifacts compared, for
+            provenance.
+
+    The top-level ``pass`` is the conjunction over every figure that has
+    digitised data; ``worst`` names the globally worst point by absolute
+    shape deviation.
+    """
+    gated = [c for c in comparisons if c.tolerance is not None]
+    worst: tuple[FigureComparison, PointComparison] | None = None
+    for comparison in gated:
+        point = comparison.worst_point()
+        if point is None:
+            continue
+        if worst is None or abs(point.shape_deviation) > abs(worst[1].shape_deviation):
+            worst = (comparison, point)
+    return {
+        "schema": DEVIATION_SCHEMA,
+        "scales": sorted(float(s) for s in scales),
+        "figures": {c.figure_id: c.to_dict() for c in comparisons},
+        "points_compared": sum(len(c.points) for c in comparisons),
+        "failed_figures": sorted(c.figure_id for c in gated if not c.passed()),
+        "worst": (
+            None
+            if worst is None
+            else {"figure": worst[0].figure_id, **worst[1].to_dict()}
+        ),
+        "pass": all(c.passed() for c in gated),
+    }
+
+
+def paper_series_for(figure_id: str) -> Mapping[str, PaperSeries]:
+    """The digitised series of one figure by label (empty if undigitised)."""
+    figure = PAPER_FIGURES.get(figure_id)
+    return {} if figure is None else figure.series_by_label()

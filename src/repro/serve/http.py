@@ -14,6 +14,9 @@ routes:
 * ``POST /evaluate-batch`` — body is a JSON array of Scenario payloads; the
   response streams one NDJSON envelope per scenario **as each completes**
   (chunked transfer encoding), each tagged with its input ``index``.
+* ``GET /figures/<id>.csv`` — one paper figure as tidy CSV (reproduced
+  points + digitised paper values + deviations), rendered from the daemon's
+  artifact store by :mod:`repro.reporting`; 404 without a store or artifact.
 
 Connections are one-request (``Connection: close``): clients here submit
 simulations that run for seconds, so connection reuse buys nothing and
@@ -162,6 +165,15 @@ class HttpFrontend:
                 await self._evaluate_one(writer, body)
             elif path == "/evaluate-batch" and method == "POST":
                 await self._evaluate_batch(writer, body)
+            elif path.startswith("/figures/") and path.endswith(".csv"):
+                if method == "GET":
+                    self._figure_csv(writer, path)
+                else:
+                    writer.write(
+                        _response_bytes(
+                            405, {"status": "error", "error": f"{method} not allowed"}
+                        )
+                    )
             elif path in ("/healthz", "/stats", "/metrics", "/evaluate", "/evaluate-batch"):
                 writer.write(
                     _response_bytes(405, {"status": "error", "error": f"{method} not allowed"})
@@ -175,6 +187,48 @@ class HttpFrontend:
             pass  # client went away; nothing to clean up beyond the socket
         finally:
             writer.close()
+
+    def _figure_csv(self, writer: asyncio.StreamWriter, path: str) -> None:
+        """``GET /figures/<id>.csv``: one paper figure from the daemon's store.
+
+        Rendering reads the stored experiment envelope and never evaluates,
+        so the route is synchronous and cheap; it exists so a dashboard can
+        scrape figure CSVs off a long-running daemon without filesystem
+        access to the artifact directory.
+        """
+        from repro.reporting.figures import figure_csv_from_store
+
+        figure_id = path[len("/figures/") : -len(".csv")]
+        if self.service.store is None:
+            writer.write(
+                _response_bytes(
+                    404, {"status": "error", "error": "daemon has no artifact store"}
+                )
+            )
+            return
+        try:
+            text = figure_csv_from_store(self.service.store, figure_id)
+        except KeyError:
+            writer.write(
+                _response_bytes(
+                    404, {"status": "error", "error": f"unknown figure {figure_id!r}"}
+                )
+            )
+            return
+        except FileNotFoundError:
+            writer.write(
+                _response_bytes(
+                    404,
+                    {
+                        "status": "error",
+                        "error": f"no stored artifact for {figure_id!r}",
+                    },
+                )
+            )
+            return
+        writer.write(
+            _text_response_bytes(200, text, content_type="text/csv; charset=utf-8")
+        )
 
     @staticmethod
     def _parse_body(body: bytes) -> Any:

@@ -66,6 +66,117 @@ def test_bench_placement_reports_speedup_fields():
     assert entry["speedup"] > 0
 
 
+def _bench_payload(**results) -> dict:
+    return {"schema": BENCH_SCHEMA, "git_sha": "abc", "results": results}
+
+
+class TestLoadHistoryHardening:
+    """Corrupt or mislabelled BENCH files are skipped with a warning."""
+
+    def test_truncated_json_is_skipped_with_a_warning(self, tmp_path):
+        from repro.experiments.bench import load_history
+
+        good = _bench_payload(run_all={"wall_s": 1.0})
+        (tmp_path / "BENCH_5.json").write_text(json.dumps(good))
+        truncated = json.dumps(good)[: len(json.dumps(good)) // 2]
+        (tmp_path / "BENCH_6.json").write_text(truncated)
+        warnings: list[str] = []
+        history = load_history(tmp_path, on_warning=warnings.append)
+        assert [name for name, _ in history] == ["BENCH_5.json"]
+        assert len(warnings) == 1
+        assert "BENCH_6.json" in warnings[0]
+        assert "unreadable JSON" in warnings[0]
+
+    def test_missing_and_unknown_schema_are_skipped(self, tmp_path):
+        from repro.experiments.bench import load_history
+
+        (tmp_path / "BENCH_5.json").write_text(
+            json.dumps(_bench_payload(run_all={"wall_s": 1.0}))
+        )
+        (tmp_path / "BENCH_6.json").write_text(json.dumps({"results": {}}))
+        (tmp_path / "BENCH_7.json").write_text(
+            json.dumps({"schema": "repro-bench-v999", "results": {}})
+        )
+        (tmp_path / "BENCH_8.json").write_text(json.dumps(["not", "an", "object"]))
+        warnings: list[str] = []
+        history = load_history(tmp_path, on_warning=warnings.append)
+        assert [name for name, _ in history] == ["BENCH_5.json"]
+        assert any("missing schema" in w for w in warnings)
+        assert any("repro-bench-v999" in w for w in warnings)
+        assert any("not a JSON object" in w for w in warnings)
+
+    def test_silent_without_a_callback(self, tmp_path):
+        from repro.experiments.bench import load_history
+
+        (tmp_path / "BENCH_5.json").write_text("{nope")
+        assert load_history(tmp_path) == []
+
+    def test_bench_history_cli_warns_and_survives(self, tmp_path, capsys):
+        (tmp_path / "BENCH_5.json").write_text(
+            json.dumps(
+                _bench_payload(
+                    placement_theta={"fast": {"candidates_per_s": 16000.0}}
+                )
+            )
+        )
+        (tmp_path / "BENCH_6.json").write_text("{truncated")
+        code = main(["bench", "--history", "--history-root", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "BENCH_5.json" in captured.out
+        assert "warning:" in captured.err and "BENCH_6.json" in captured.err
+
+
+class TestHistoryMetricsTable:
+    """One extraction table drives --history, regressions, and the dashboard."""
+
+    def test_history_row_uses_the_shared_table(self):
+        from repro.experiments.bench import HISTORY_METRICS, history_row
+
+        row = history_row("BENCH_9.json", _bench_payload())
+        for metric in HISTORY_METRICS:
+            assert metric.key in row and row[metric.key] is None
+
+    def test_every_floor_is_gated(self):
+        from repro.experiments.bench import history_regressions
+
+        bad = {
+            "name": "BENCH_9.json",
+            "placement_cand_per_s": 1.0,
+            "opt_exact_nodes_per_s": 1.0,
+            "opt_anneal_flips_per_s": 1.0,
+            "tune_points_per_s": 0.1,
+            "run_all_wall_s": 1e6,
+            "serve_cold_req_per_s": 0.1,
+        }
+        problems = history_regressions([bad])
+        assert len(problems) == 6
+        assert any("placement cand/s" in p and "below" in p for p in problems)
+        assert any("run-all wall s" in p and "above" in p for p in problems)
+
+    def test_committed_bench_artifacts_clear_every_floor(self):
+        from pathlib import Path
+
+        from repro.experiments.bench import (
+            history_regressions,
+            history_row,
+            load_history,
+        )
+
+        root = Path(__file__).resolve().parent.parent
+        history = load_history(root)
+        assert [name for name, _ in history][:2] == ["BENCH_5.json", "BENCH_6.json"]
+        rows = [history_row(name, payload) for name, payload in history]
+        assert history_regressions(rows) == []
+
+    def test_placement_floor_override_still_works(self):
+        from repro.experiments.bench import history_regressions
+
+        row = {"name": "BENCH_9.json", "placement_cand_per_s": 2000.0}
+        assert history_regressions([row]) == []
+        assert len(history_regressions([row], floor=5000.0)) == 1
+
+
 def test_render_suite_mentions_every_benchmark():
     entry = {
         "scalar": {"wall_s": 2.0, "candidates_per_s": 100.0, "points_per_s": 10.0},

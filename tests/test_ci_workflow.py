@@ -17,7 +17,14 @@ def workflow() -> dict:
 
 class TestWorkflowShape:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"lint", "tests", "smoke", "bench", "serve"}
+        assert set(workflow["jobs"]) == {
+            "lint",
+            "tests",
+            "smoke",
+            "bench",
+            "serve",
+            "figures",
+        }
         # "on" parses as the YAML boolean True in YAML 1.1 readers.
         triggers = workflow.get("on", workflow.get(True))
         assert "push" in triggers and "pull_request" in triggers
@@ -240,6 +247,43 @@ class TestWorkflowShape:
         assert "wall_time_s" in reverify[0], (
             "only wall_time_s may be excluded from the byte-identical comparison"
         )
+
+    def test_reverify_steps_use_the_diff_artifacts_subcommand(self, workflow):
+        commands = [s.get("run", "") for s in workflow["jobs"]["smoke"]["steps"]]
+        diffs = [c for c in commands if "repro diff-artifacts" in c]
+        assert len(diffs) == 2, (
+            "both byte-identity re-verifies must go through the shared "
+            "diff-artifacts subcommand, not inline python"
+        )
+        for command in diffs:
+            assert "--ignore wall_time_s" in command
+        assert any("artifacts-traced" in c for c in diffs)
+        assert any("artifacts-plain" in c for c in diffs)
+
+    def test_figures_job_renders_and_gates_from_artifacts(self, workflow):
+        steps = workflow["jobs"]["figures"]["steps"]
+        commands = [s.get("run", "") for s in steps]
+        install = [c for c in commands if "pip install" in c]
+        assert any('".[plots]"' in c for c in install), (
+            "the figures job must install the matplotlib extra"
+        )
+        sweep = [c for c in commands if "repro run-all" in c]
+        assert sweep and "--scale 8" in sweep[0] and "--out artifacts/" in sweep[0]
+        figures = [c for c in commands if "repro figures" in c]
+        assert figures, "the figures job must invoke repro figures"
+        assert "--all" in figures[0]
+        assert "--check" in figures[0], "tolerance breaches must fail the job"
+        assert "--from artifacts/" in figures[0], (
+            "figures must render from the stored artifacts, not re-simulate"
+        )
+        dash = [c for c in commands if "repro dash" in c]
+        assert dash, "the figures job must render the perf dashboard"
+        assert "--check" in dash[0], "bench-floor regressions must fail the job"
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads, "the figures job must upload the figure bundle"
+        path = uploads[0]["with"]["path"]
+        assert "deviation_report.json" in path
+        assert "*.csv" in path and "*.png" in path
 
     def test_serve_job_scrapes_prometheus_metrics(self, workflow):
         commands = [s.get("run", "") for s in workflow["jobs"]["serve"]["steps"]]

@@ -1,0 +1,101 @@
+"""Edge cases of the obs exporters: empty state, zero-obs histograms,
+unicode/percent label values through both wire formats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import chrome_trace, prometheus_text
+from repro.obs.metrics import Histogram
+from repro.obs.recorder import Recorder, collecting
+
+
+class TestEmptyRecorder:
+    def test_chrome_trace_of_an_empty_recorder_is_valid_and_empty(self):
+        document = chrome_trace(Recorder())
+        assert document["traceEvents"] == []
+        # Must survive a JSON round-trip (Perfetto loads the file as-is).
+        assert json.loads(json.dumps(document)) == document
+
+    def test_prometheus_text_of_no_metrics_is_a_single_newline(self):
+        assert prometheus_text([]) == "\n"
+
+    def test_empty_recorder_metrics_iterate_to_nothing(self):
+        rec = Recorder()
+        assert list(rec.metrics()) == []
+        assert prometheus_text(rec.metrics()) == "\n"
+
+
+class TestZeroObservationHistogram:
+    def test_labelled_histogram_with_zero_observations_exports_cleanly(self):
+        rec = Recorder()
+        rec.histogram("serve.request_seconds", route="/evaluate")  # registered, never observed
+        text = prometheus_text(rec.metrics())
+        assert 'repro_serve_request_seconds_bucket{le="+Inf",route="/evaluate"} 0' in text
+        assert 'repro_serve_request_seconds_count{route="/evaluate"} 0' in text
+        assert 'repro_serve_request_seconds_sum{route="/evaluate"} 0.0' in text
+        # Every cumulative bucket of an untouched histogram is zero.
+        for line in text.splitlines():
+            if "_bucket" in line:
+                assert line.endswith(" 0"), line
+
+    def test_zero_observation_histogram_is_not_a_chrome_counter(self):
+        rec = Recorder()
+        rec.histogram("sim.latency", path="fast")
+        events = chrome_trace(rec)["traceEvents"]
+        assert events == []  # only counters become "C" samples
+
+    def test_zero_observation_snapshot_shape(self):
+        histogram = Histogram("empty", None)
+        snap = histogram.snapshot()
+        assert snap["count"] == 0
+        assert snap["sum"] == 0.0
+        assert all(count == 0 for count in snap["counts"])
+
+
+class TestLabelValueEscaping:
+    def test_unicode_label_values_round_trip_through_chrome_trace(self):
+        with collecting() as rec:
+            rec.inc("reporting.points_compared", 3, figure="méxico-η²")
+        document = chrome_trace(rec)
+        restored = json.loads(json.dumps(document))
+        (event,) = restored["traceEvents"]
+        assert event["ph"] == "C"
+        assert "méxico-η²" in event["name"]
+        assert event["args"]["value"] == 3.0
+
+    def test_unicode_label_values_in_prometheus_text(self):
+        with collecting() as rec:
+            rec.inc("render.figures", figure="ﬁg07—β")
+        text = prometheus_text(rec.metrics())
+        assert 'figure="ﬁg07—β"' in text
+        assert text.endswith("\n")
+
+    def test_percent_and_quote_heavy_values_escape_correctly(self):
+        with collecting() as rec:
+            rec.inc("cache.hits", key='50% "hot" C:\\store\nline2')
+        text = prometheus_text(rec.metrics())
+        (sample,) = [line for line in text.splitlines() if not line.startswith("#")]
+        # Percent signs pass through untouched; backslash, quote and
+        # newline are escaped per the exposition format.
+        assert "50%" in sample
+        assert '\\"hot\\"' in sample
+        assert "C:\\\\store" in sample
+        assert "\\n" in sample and "\n" not in sample
+
+    def test_percent_and_newline_values_survive_chrome_trace_json(self):
+        with collecting() as rec:
+            rec.inc("cache.hits", key='100% "done"\nnext')
+        payload = json.dumps(chrome_trace(rec))
+        restored = json.loads(payload)
+        (event,) = restored["traceEvents"]
+        assert '100% "done"\nnext' in event["name"]
+
+    def test_unicode_span_args_round_trip(self):
+        with collecting() as rec:
+            with rec.span("reporting.render:fig07", "reporting", caption="Mira — 512 nœuds"):
+                pass
+        restored = json.loads(json.dumps(chrome_trace(rec)))
+        (event,) = restored["traceEvents"]
+        assert event["name"] == "reporting.render:fig07"
+        assert event["args"]["caption"] == "Mira — 512 nœuds"

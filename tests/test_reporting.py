@@ -1,0 +1,246 @@
+"""The reporting layer: digitised paper data, deviations, figure rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.results import ExperimentResult, Series
+from repro.reporting import (
+    FIGURES,
+    PAPER_FIGURES,
+    compare_result,
+    deviation_report,
+    figure_csv,
+    matplotlib_available,
+)
+from repro.reporting.figures import CSV_COLUMNS, resolve_figure_ids
+from repro.reporting.paperdata import TOLERANCES
+
+
+def _result_from_paper(figure_id: str, scale: float = 1.0) -> ExperimentResult:
+    """A synthetic reproduction tracing the paper's curves exactly, times
+    ``scale`` — shape deviation is zero for any positive scale."""
+    figure = PAPER_FIGURES[figure_id]
+    series = []
+    for paper in figure.series:
+        curve = Series(paper.label)
+        for x, value in zip(paper.xs, paper.values):
+            curve.add(x, value * scale)
+        series.append(curve)
+    return ExperimentResult(
+        experiment_id=figure_id,
+        title=figure.caption,
+        machine="test",
+        x_label=figure.x_units,
+        series=series,
+    )
+
+
+class TestPaperData:
+    def test_every_registered_figure_has_paper_data_and_a_tolerance(self):
+        assert set(FIGURES) == set(PAPER_FIGURES)
+        assert set(TOLERANCES) == set(PAPER_FIGURES)
+
+    def test_series_shapes_are_consistent(self):
+        for figure in PAPER_FIGURES.values():
+            assert figure.series, figure.figure_id
+            for series in figure.series:
+                assert len(series.xs) == len(series.values)
+                assert all(value > 0 for value in series.values), series.label
+
+    def test_table1_holds_the_papers_exact_values(self):
+        table = PAPER_FIGURES["table1"]
+        assert table.exact
+        (series,) = table.series
+        assert list(series.values) == [0.36, 0.64, 0.91, 1.57, 1.08, 1.14]
+        # The paper's best ratio is 1:1 (index 3).
+        assert max(series.values) == series.values[3]
+
+    def test_headline_holds_the_abstracts_factors(self):
+        headline = PAPER_FIGURES["headline"]
+        assert headline.exact
+        values = {s.label: s.values[0] for s in headline.series}
+        assert values["Mira speedup (SoA, 5K particles)"] == 12.0
+        assert values["Theta speedup (AoS, 100K particles)"] == 4.0
+
+
+class TestCompareResult:
+    def test_exact_shape_match_passes_at_any_absolute_scale(self):
+        comparison = compare_result(_result_from_paper("fig10", scale=3.0))
+        assert comparison.points
+        assert not comparison.missing_series
+        # Absolute deviation is recorded (3x = +200%)...
+        assert all(p.deviation == pytest.approx(2.0) for p in comparison.points)
+        # ...but the shape is identical, so the figure passes.
+        assert comparison.rms_shape_deviation() == pytest.approx(0.0, abs=1e-12)
+        assert comparison.passed()
+
+    def test_distorted_shape_fails(self):
+        result = _result_from_paper("fig10")
+        # Invert the TAPIOCA curve: now it falls where the paper rises.
+        tapioca = result.series_by_label("TAPIOCA")
+        values = sorted((p.bandwidth_gbps for p in tapioca.points), reverse=True)
+        inverted = Series("TAPIOCA")
+        for point, value in zip(tapioca.points, values):
+            inverted.add(point.x, value)
+        result.series = [inverted, result.series_by_label("MPI I/O")]
+        comparison = compare_result(result)
+        assert comparison.rms_shape_deviation() > 0.0
+        worst = comparison.worst_point()
+        assert worst is not None and worst.series == "TAPIOCA"
+
+    def test_missing_series_fails_the_figure(self):
+        result = _result_from_paper("fig09")
+        result.series = result.series[:1]
+        comparison = compare_result(result)
+        assert comparison.missing_series == ["MPI I/O"]
+        assert not comparison.passed()
+
+    def test_undigitised_experiment_is_not_gated(self):
+        result = ExperimentResult(
+            experiment_id="ablation_pipelining",
+            title="ablation",
+            machine="test",
+            x_label="MB/rank",
+            series=[Series("whatever")],
+        )
+        comparison = compare_result(result)
+        assert comparison.tolerance is None
+        assert not comparison.points
+        report = deviation_report([comparison])
+        assert report["pass"] is True  # nothing to deviate from
+        assert report["failed_figures"] == []
+
+
+class TestDeviationReport:
+    def test_report_shape_and_worst_point(self):
+        good = compare_result(_result_from_paper("fig09"))
+        distorted_result = _result_from_paper("fig10")
+        for series in distorted_result.series:
+            first = series.points[0]
+            series.points[0] = type(first)(first.x, first.bandwidth_gbps * 10)
+        bad = compare_result(distorted_result)
+        report = deviation_report([good, bad], scales=[8.0])
+        assert report["schema"] == "repro-deviation-v1"
+        assert report["scales"] == [8.0]
+        assert set(report["figures"]) == {"fig09", "fig10"}
+        assert report["points_compared"] == len(good.points) + len(bad.points)
+        assert report["worst"]["figure"] == "fig10"
+        assert report["figures"]["fig09"]["pass"] is True
+        if not bad.passed():
+            assert report["failed_figures"] == ["fig10"]
+            assert report["pass"] is False
+        payload = json.dumps(report)  # must be JSON-serialisable
+        assert "shape_deviation" in payload
+
+
+class TestFigureCsv:
+    def test_columns_and_deviation_fields(self):
+        text = figure_csv(_result_from_paper("fig10", scale=2.0))
+        lines = text.strip().splitlines()
+        assert lines[0] == ",".join(CSV_COLUMNS)
+        # 2 series x 5 points.
+        assert len(lines) == 1 + 10
+        first = lines[1].split(",")
+        row = dict(zip(CSV_COLUMNS, first))
+        assert row["figure"] == "fig10"
+        assert row["series"] == "TAPIOCA"
+        assert float(row["bandwidth_gbps"]) == pytest.approx(
+            2.0 * float(row["paper_bandwidth_gbps"])
+        )
+        assert float(row["deviation"]) == pytest.approx(1.0)
+        assert float(row["shape_deviation"]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_points_without_paper_data_have_empty_deviation_cells(self):
+        result = _result_from_paper("fig09")
+        result.series[0].add(99.0, 123.0)  # a point the paper never measured
+        lines = figure_csv(result).strip().splitlines()
+        extra = next(line for line in lines if line.startswith("fig09,TAPIOCA,99.0"))
+        assert extra.endswith(",,,")
+
+
+class TestResolveFigureIds:
+    def test_empty_or_all_means_everything_in_paper_order(self):
+        assert resolve_figure_ids([]) == list(FIGURES)
+        assert resolve_figure_ids(["all"]) == list(FIGURES)
+
+    def test_subset_keeps_paper_order_and_drops_duplicates(self):
+        assert resolve_figure_ids(["table1", "fig08", "fig08"]) == ["fig08", "table1"]
+
+    def test_unknown_id_raises_with_the_choices(self):
+        with pytest.raises(KeyError, match="fig99"):
+            resolve_figure_ids(["fig99"])
+
+
+class TestRenderFigures:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        from repro.experiments.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "artifacts")
+        # Hand-written envelopes: rendering must work from stored JSON
+        # alone, no simulation involved anywhere in this test.
+        for figure_id in ("fig09", "table1"):
+            store.save(_result_from_paper(figure_id), scale=8.0, wall_time_s=0.1)
+        return store
+
+    def test_renders_csv_and_report_from_store_alone(self, tmp_path, store):
+        from repro.reporting import render_figures
+
+        out = tmp_path / "figures"
+        report = render_figures(store, ["fig09", "table1"], out)
+        assert {r.figure_id for r in report.rendered} == {"fig09", "table1"}
+        assert not report.skipped
+        assert report.passed()
+        assert (out / "fig09.csv").is_file()
+        assert (out / "table1.csv").is_file()
+        payload = json.loads((out / "deviation_report.json").read_text())
+        assert payload["pass"] is True
+        assert payload["scales"] == [8.0]
+        summary = report.summary()
+        assert "fig09" in summary and "PASS" in summary
+
+    def test_missing_artifacts_are_skipped_not_simulated(self, tmp_path, store):
+        from repro.reporting import render_figures
+
+        report = render_figures(store, ["fig09", "fig10"], tmp_path / "figs")
+        assert [r.figure_id for r in report.rendered] == ["fig09"]
+        assert report.skipped == ["fig10"]
+
+    def test_csv_only_without_matplotlib(self, tmp_path, store):
+        from repro.reporting import render_figures
+
+        report = render_figures(store, ["fig09"], tmp_path / "figs")
+        if not matplotlib_available():
+            assert report.rendered[0].plot_paths == []
+            assert "csv only" in report.summary()
+        assert (tmp_path / "figs" / "fig09.csv").is_file()
+
+    def test_render_is_observable(self, tmp_path, store):
+        from repro.obs.recorder import collecting
+        from repro.reporting import render_figures
+
+        with collecting() as rec:
+            render_figures(store, ["fig09"], tmp_path / "figs")
+            names = {span["name"] for span in rec.spans}
+            counters = {
+                metric.snapshot()["name"]: metric.snapshot()["value"]
+                for metric in rec.metrics()
+                if metric.snapshot()["kind"] == "counter"
+            }
+        assert "reporting.render:fig09" in names
+        assert counters["reporting.points_compared"] == 10.0
+        assert counters["reporting.figures_rendered"] == 1.0
+
+    def test_sqlite_backend_renders_identically(self, tmp_path):
+        from repro.experiments.store import ArtifactStore
+
+        from repro.reporting import render_figures
+
+        store = ArtifactStore.from_spec(f"sqlite:{tmp_path / 'art.db'}")
+        store.save(_result_from_paper("fig09"), scale=8.0, wall_time_s=0.1)
+        report = render_figures(store, ["fig09"], tmp_path / "figs")
+        assert report.passed()
+        assert (tmp_path / "figs" / "fig09.csv").is_file()

@@ -301,3 +301,76 @@ class TestJobQueue:
     def test_collect_times_out(self, tmp_path):
         with pytest.raises(TimeoutError):
             collect_job(tmp_path, "missing", timeout_s=0.1, poll_s=0.02)
+
+
+class TestFiguresEndpoint:
+    """``GET /figures/<id>.csv``: store-driven figure CSV off the daemon."""
+
+    @pytest.fixture(scope="class")
+    def figure_server(self, tmp_path_factory):
+        from repro.experiments.results import ExperimentResult, Series
+        from repro.reporting.paperdata import PAPER_FIGURES
+
+        store = ArtifactStore(tmp_path_factory.mktemp("figure-store"))
+        figure = PAPER_FIGURES["fig09"]
+        series = []
+        for paper in figure.series:
+            curve = Series(paper.label)
+            for x, value in zip(paper.xs, paper.values):
+                curve.add(x, value)
+            series.append(curve)
+        store.save(
+            ExperimentResult(
+                experiment_id="fig09",
+                title=figure.caption,
+                machine="mira",
+                x_label=figure.x_units,
+                series=series,
+            ),
+            scale=8.0,
+            wall_time_s=0.1,
+        )
+        with ServerThread(store=store, jobs=1) as running:
+            yield running
+
+    def test_served_csv_matches_the_store_render(self, figure_server):
+        from repro.reporting.figures import figure_csv_from_store
+
+        with urllib.request.urlopen(
+            f"{figure_server.url}/figures/fig09.csv"
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/csv")
+            body = response.read().decode("utf-8")
+        assert body.startswith("figure,series,x,")
+        assert "fig09,TAPIOCA," in body
+        assert body == figure_csv_from_store(
+            figure_server.service.store, "fig09"
+        )
+
+    def test_unknown_figure_is_404(self, figure_server):
+        with pytest.raises(urllib.request.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{figure_server.url}/figures/fig99.csv")
+        assert excinfo.value.code == 404
+        assert "unknown figure" in json.load(excinfo.value)["error"]
+
+    def test_missing_artifact_is_404(self, figure_server):
+        with pytest.raises(urllib.request.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{figure_server.url}/figures/fig13.csv")
+        assert excinfo.value.code == 404
+        assert "no stored artifact" in json.load(excinfo.value)["error"]
+
+    def test_post_is_405(self, figure_server):
+        request = urllib.request.Request(
+            f"{figure_server.url}/figures/fig09.csv", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.request.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 405
+
+    def test_storeless_daemon_is_404(self):
+        with ServerThread(store=None) as running:
+            with pytest.raises(urllib.request.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{running.url}/figures/fig09.csv")
+            assert excinfo.value.code == 404
+            assert "no artifact store" in json.load(excinfo.value)["error"]
