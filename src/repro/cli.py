@@ -483,6 +483,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             tune_budget=args.tune_budget,
             tune_scale=args.tune_scale,
             run_all_scale=args.run_all_scale,
+            interference_flows=args.interference_flows,
+            interference_rounds=args.interference_rounds,
+            interference_jobs=args.interference_jobs,
+            interference_mb=args.interference_mb,
             on_progress=progress,
         )
         out = args.out or "BENCH_5.json"
@@ -1040,6 +1044,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_scale,
         default=8.0,
         help="node-count divisor of the run-all benchmark (default: 8)",
+    )
+    bench_parser.add_argument(
+        "--interference-flows",
+        type=_positive_int,
+        default=64,
+        help="flow count of the contention-ledger microbenchmark; the "
+        "resource count is 4x this (default: 64, i.e. 64 flows x 256 "
+        "resources)",
+    )
+    bench_parser.add_argument(
+        "--interference-rounds",
+        type=_positive_int,
+        default=48,
+        help="water-filling solves of the ledger microbenchmark (default: 48)",
+    )
+    bench_parser.add_argument(
+        "--interference-jobs",
+        type=_positive_int,
+        default=64,
+        help="job count of the multi-job interference sweep (default: 64)",
+    )
+    bench_parser.add_argument(
+        "--interference-mb",
+        type=_positive_int,
+        default=4096,
+        help="per-rank megabytes of each sweep job; larger values mean more "
+        "fluid slices per allocation (default: 4096)",
     )
     bench_parser.add_argument(
         "--min-placement-rate",

@@ -44,6 +44,16 @@ class ContentionFactors(Protocol):
         """Sharing factor (>= 1) on the route between two ranks."""
         ...
 
+    def bandwidth_factors(self, src_ranks, dst_node):  # pragma: no cover
+        """Optional batched twin: factor per source rank towards one node.
+
+        Implementations that provide it (duck-typed; see
+        :class:`repro.multijob.contention.LinkContentionFactors`) keep
+        :meth:`AggregationCostModel.best_candidate` on the vectorised fast
+        path under interference instead of dropping to scalar evaluation.
+        """
+        ...
+
 
 @dataclass(frozen=True)
 class CostBreakdown:
@@ -160,18 +170,22 @@ class AggregationCostModel:
         Ties are broken towards the lowest rank, matching the behaviour of
         ``MPI_Allreduce(MINLOC)``.
 
-        When the fast path is on (and no contention model is attached), all
-        candidates are evaluated against precomputed per-node-pair hop and
-        bottleneck-bandwidth arrays instead of O(candidates × senders)
-        scalar interface calls; the per-term arithmetic and the accumulation
-        order match the scalar path exactly, so the breakdowns are
-        bit-identical.
+        When the fast path is on, all candidates are evaluated against
+        precomputed per-node-pair hop and bottleneck-bandwidth arrays
+        instead of O(candidates × senders) scalar interface calls — also
+        under interference, provided the contention model exposes the
+        batched ``bandwidth_factors`` API; the per-term arithmetic and the
+        accumulation order match the scalar path exactly, so the breakdowns
+        are bit-identical.
         """
         if not candidates:
             raise ValueError("no candidates to evaluate")
         breakdowns = None
         path = "scalar"
-        if self.contention is None and fastpath_enabled():
+        batchable = self.contention is None or (
+            getattr(self.contention, "bandwidth_factors", None) is not None
+        )
+        if batchable and fastpath_enabled():
             breakdowns = self._batched_breakdowns(candidates, volumes)
             if breakdowns is not None:
                 path = "fast"
@@ -224,7 +238,14 @@ class AggregationCostModel:
             # Identical per-term IEEE arithmetic to aggregation_cost(); the
             # final reduction must stay a sequential left-to-right sum over
             # the producers' iteration order to keep the floats bit-equal.
-            terms = (latency * hops[rows, column] + vols / bandwidths[rows, column]).tolist()
+            effective_bw = bandwidths[rows, column]
+            if self.contention is not None:
+                factors = np.asarray(
+                    self.contention.bandwidth_factors(producer_ranks, candidate_node),
+                    dtype=np.float64,
+                )
+                effective_bw = effective_bw / np.maximum(1.0, factors)
+            terms = (latency * hops[rows, column] + vols / effective_bw).tolist()
             skip = position.get(candidate)
             total = 0.0
             for index, term in enumerate(terms):

@@ -234,6 +234,130 @@ def bench_tune(
     }
 
 
+def bench_interference(
+    *,
+    flows: int = 64,
+    rounds: int = 48,
+    sweep_jobs: int = 64,
+    sweep_mb_per_rank: int = 4096,
+    sweep_slice_s: float = 0.25,
+) -> dict:
+    """Contention-engine throughput: ledger allocations/s and sweep wall time.
+
+    Two measurements, each run on the vectorised fast path and on the
+    scalar reference (:mod:`repro.utils.fastpath`) in the same process:
+
+    - A water-filling microbenchmark on a synthetic ledger of ``flows``
+      flows over ``4 * flows`` shared resources (64 × 256 by default).
+      Every round drops a different flow from the active set, so each
+      :meth:`allocate` is a genuine solve — the allocation memo never
+      hits — and the number is allocations per second of the solver
+      itself.
+    - A staggered-arrival multi-job sweep on Theta: ``sweep_jobs`` IOR
+      jobs with overlapping stripes, fluid-advanced to completion.  Here
+      the fast path additionally benefits from the allocation memo (the
+      active set only changes at arrivals and completions), which is the
+      shape the interference experiments actually execute.
+    """
+    import random
+
+    from repro.core.config import TapiocaConfig
+    from repro.machine.theta import ThetaMachine
+    from repro.multijob import JobSpec, MultiJobRuntime
+    from repro.multijob.contention import ContentionLedger
+    from repro.utils.units import GB, MB, MIB
+    from repro.workloads.ior import IORWorkload
+
+    resources = 4 * flows
+    names = [f"flow{index:03d}" for index in range(flows)]
+
+    def build_ledger() -> ContentionLedger:
+        rng = random.Random(2017)
+        ledger = ContentionLedger()
+        for index in range(resources):
+            ledger.add_resource(("ost", index), (1.0 + index % 7) * GB)
+        for index, name in enumerate(names):
+            touched = rng.sample(range(resources), 1 + index % 24)
+            share = 1.0 / len(touched)
+            ledger.register_flow(
+                name,
+                demand=(0.5 + 4.0 * rng.random()) * GB,
+                weights={("ost", ost): share for ost in touched},
+            )
+        return ledger
+
+    def run_ledger() -> float:
+        ledger = build_ledger()
+
+        def solve_rounds() -> None:
+            for round_index in range(rounds):
+                drop = round_index % flows
+                ledger.allocate(names[:drop] + names[drop + 1 :])
+
+        _, wall = _timed(solve_rounds)
+        return wall
+
+    def run_sweep() -> tuple[float, float]:
+        machine = ThetaMachine(4 * sweep_jobs)
+        ranks = 4 * 16
+        specs = [
+            JobSpec(
+                name=f"job{index:02d}",
+                num_nodes=4,
+                workload=IORWorkload(ranks, sweep_mb_per_rank * MB),
+                ranks_per_node=16,
+                config=TapiocaConfig(
+                    num_aggregators=min(32, ranks), buffer_size=8 * MIB
+                ),
+                stripe=machine.stripe_for_job(
+                    ost_start=2 * index, stripe_count=16, stripe_size=8 * MIB
+                ),
+                arrival_s=4.0 * index,
+            )
+            for index in range(sweep_jobs)
+        ]
+        runtime = MultiJobRuntime(machine, specs, slice_s=sweep_slice_s)
+        report, wall = _timed(runtime.run)
+        return report.makespan_s(), wall
+
+    _fresh_state()
+    with fastpath_disabled():
+        ledger_scalar_wall = run_ledger()
+    _fresh_state()
+    ledger_fast_wall = run_ledger()
+    _fresh_state()
+    with fastpath_disabled():
+        scalar_makespan, sweep_scalar_wall = run_sweep()
+    _fresh_state()
+    fast_makespan, sweep_fast_wall = run_sweep()
+    assert fast_makespan == scalar_makespan, "fast sweep diverged from scalar"
+    return {
+        "flows": flows,
+        "resources": resources,
+        "rounds": rounds,
+        "ledger": {
+            "scalar": {
+                "wall_s": ledger_scalar_wall,
+                "alloc_per_s": rounds / ledger_scalar_wall,
+            },
+            "fast": {
+                "wall_s": ledger_fast_wall,
+                "alloc_per_s": rounds / ledger_fast_wall,
+            },
+            "speedup": ledger_scalar_wall / ledger_fast_wall,
+        },
+        "sweep": {
+            "jobs": sweep_jobs,
+            "mb_per_rank": sweep_mb_per_rank,
+            "slice_s": sweep_slice_s,
+            "makespan_s": fast_makespan,
+            "scalar": {"wall_s": sweep_scalar_wall},
+            "fast": {"wall_s": sweep_fast_wall},
+            "speedup": sweep_scalar_wall / sweep_fast_wall,
+        },
+    }
+
+
 def bench_run_all(*, scale: float = 8.0) -> dict:
     """Wall time of a sequential in-process sweep over every experiment."""
     from repro.experiments.runner import run_experiments
@@ -358,6 +482,10 @@ def run_suite(
     tune_budget: int = 64,
     tune_scale: float = 1.0,
     run_all_scale: float = 8.0,
+    interference_flows: int = 64,
+    interference_rounds: int = 48,
+    interference_jobs: int = 64,
+    interference_mb: int = 4096,
     on_progress: Callable[[str], None] | None = None,
 ) -> dict:
     """Run every benchmark and assemble the ``BENCH_*.json`` payload."""
@@ -377,6 +505,16 @@ def run_suite(
     results["placement_opt"] = bench_placement_opt()
     progress(f"tune/{tune_target}: budget {tune_budget} at scale {tune_scale:g}")
     results["tune"] = bench_tune(tune_target, budget=tune_budget, scale=tune_scale)
+    progress(
+        f"interference: {interference_flows} flows x {4 * interference_flows} "
+        f"resources, {interference_jobs}-job sweep"
+    )
+    results["interference"] = bench_interference(
+        flows=interference_flows,
+        rounds=interference_rounds,
+        sweep_jobs=interference_jobs,
+        sweep_mb_per_rank=interference_mb,
+    )
     progress(f"run-all at scale {run_all_scale:g}")
     results["run_all"] = bench_run_all(scale=run_all_scale)
     return {
@@ -390,6 +528,10 @@ def run_suite(
             "tune_budget": tune_budget,
             "tune_scale": tune_scale,
             "run_all_scale": run_all_scale,
+            "interference_flows": interference_flows,
+            "interference_rounds": interference_rounds,
+            "interference_jobs": interference_jobs,
+            "interference_mb": interference_mb,
         },
         "results": results,
     }
@@ -428,6 +570,22 @@ def render_suite(payload: dict) -> str:
             f"  tune/{tune['target']:<11} {tune['fast']['points_per_s']:>10,.1f} "
             f"points/s      (scalar {tune['scalar']['points_per_s']:,.1f}, "
             f"speedup {tune['speedup']:.1f}x)"
+        )
+    interference = results.get("interference")
+    if interference is not None:
+        ledger = interference["ledger"]
+        lines.append(
+            f"  interference/ledger {ledger['fast']['alloc_per_s']:>8,.1f} alloc/s    "
+            f"({interference['flows']} flows x {interference['resources']} "
+            f"resources, scalar {ledger['scalar']['alloc_per_s']:,.1f}, "
+            f"speedup {ledger['speedup']:.1f}x)"
+        )
+        sweep = interference["sweep"]
+        lines.append(
+            f"  interference/sweep  {sweep['fast']['wall_s']:>8.2f} s          "
+            f"({sweep['jobs']} jobs, makespan {sweep['makespan_s']:,.0f} s, "
+            f"scalar {sweep['scalar']['wall_s']:.2f} s, "
+            f"speedup {sweep['speedup']:.1f}x)"
         )
     run_all = results.get("run_all")
     if run_all is not None:
@@ -542,6 +700,12 @@ HISTORY_METRICS: tuple[HistoryMetric, ...] = (
         "tune points/s",
         ("tune", "fast", "points_per_s"),
         floor=30.0,
+    ),
+    HistoryMetric(
+        "interference_alloc_per_s",
+        "interference alloc/s",
+        ("interference", "ledger", "fast", "alloc_per_s"),
+        floor=50.0,
     ),
     HistoryMetric(
         "run_all_wall_s",

@@ -13,21 +13,34 @@ machine cannot be beaten) or one of its resources saturates, at which point
 the flow freezes.  By construction the allocation *conserves bandwidth*: on
 every resource the weighted sum of the granted rates never exceeds the
 capacity, which the property tests assert for random instances.
+
+Two implementations share one fixed accumulation order (flows in the order
+the caller listed them, resources in registration order), so their rates are
+bit-for-bit equal: a dict-based scalar path, kept as the reference behind
+``REPRO_DISABLE_FASTPATH``, and a vectorised path that water-fills over a
+flows×resources numpy weight matrix and memoises whole allocations per
+active-flow tuple (a fluid runtime re-requests the same set every slice).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.obs import recorder as obs_recorder
 from repro.topology.base import Topology
 from repro.topology.mapping import RankMapping
+from repro.utils.fastpath import fastpath_enabled
 from repro.utils.validation import require, require_positive
 
 #: Relative tolerance used when deciding that a resource is saturated or a
 #: flow has reached its demand.
 _EPS = 1e-9
+
+#: Cap on memoised allocations per ledger (cleared wholesale when full).
+_MAX_ALLOC_CACHE = 512
 
 
 @dataclass(frozen=True)
@@ -60,6 +73,11 @@ class ContentionLedger:
     resources: dict[tuple, float] = field(default_factory=dict)
     flows: dict[str, Flow] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Allocation memo: active-flow tuple -> (rates, water-fill iteration
+        # count).  Any registration change invalidates every entry.
+        self._alloc_cache: dict[tuple[str, ...], tuple[dict[str, float], int]] = {}
+
     # ------------------------------------------------------------------ #
     # Registration
     # ------------------------------------------------------------------ #
@@ -74,6 +92,7 @@ class ContentionLedger:
                 f"refusing to change it to {capacity}"
             )
         self.resources[key] = capacity
+        self._alloc_cache.clear()
 
     def register_flow(
         self, flow_id: str, demand: float, weights: Mapping[tuple, float]
@@ -92,11 +111,13 @@ class ContentionLedger:
             clean[key] = float(weight)
         flow = Flow(flow_id, float(demand), clean)
         self.flows[flow_id] = flow
+        self._alloc_cache.clear()
         return flow
 
     def remove_flow(self, flow_id: str) -> None:
         """Drop a finished job's flow."""
         self.flows.pop(flow_id, None)
+        self._alloc_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Allocation
@@ -114,13 +135,47 @@ class ContentionLedger:
             ``sum_i rate_i * w_ik <= capacity_k`` and, for every flow,
             ``rate_i <= demand_i``; no flow can raise its rate without
             lowering that of a flow with a smaller or equal rate.
+
+        Observability: ``sim.contention_iterations`` counts water-fill
+        iterations and is identical on both paths (a memo hit re-counts the
+        iterations the cached allocation cost); ``sim.contention_allocations``
+        counts allocations actually solved, so it drops when the memo hits.
         """
         ids = list(self.flows) if active is None else list(active)
         for flow_id in ids:
             require(flow_id in self.flows, f"unknown flow {flow_id!r}")
+        rec = obs_recorder()
+        if fastpath_enabled():
+            key = tuple(ids)
+            cached = self._alloc_cache.get(key)
+            if cached is not None:
+                rate, iterations = cached
+                if rec is not None:
+                    rec.inc("sim.contention_iterations", iterations)
+                    rec.inc("sim.contention_cache_hits")
+                return dict(rate)
+            rate, iterations = self._allocate_vectorised(ids)
+            if len(self._alloc_cache) >= _MAX_ALLOC_CACHE:
+                self._alloc_cache.clear()
+            self._alloc_cache[key] = (rate, iterations)
+            rate = dict(rate)
+        else:
+            rate, iterations = self._allocate_scalar(ids)
+        if rec is not None:
+            rec.inc("sim.contention_iterations", iterations)
+            rec.inc("sim.contention_allocations")
+        return rate
+
+    def _allocate_scalar(self, ids: Sequence[str]) -> tuple[dict[str, float], int]:
+        """Reference progressive-filling loop over plain dicts.
+
+        Flows are visited in ``ids`` order and resources in registration
+        order everywhere a float accumulates, so the result is reproducible
+        and bit-comparable with the vectorised path.
+        """
         rate = {flow_id: 0.0 for flow_id in ids}
         used = {key: 0.0 for key in self.resources}
-        unfrozen = set(ids)
+        unfrozen = list(ids)
         iterations = 0
         while unfrozen:
             iterations += 1
@@ -130,9 +185,9 @@ class ContentionLedger:
             )
             binding_keys: list[tuple] = []
             for key, capacity in self.resources.items():
-                weight_sum = sum(
-                    self.flows[flow_id].weights.get(key, 0.0) for flow_id in unfrozen
-                )
+                weight_sum = 0.0
+                for flow_id in unfrozen:
+                    weight_sum += self.flows[flow_id].weights.get(key, 0.0)
                 if weight_sum <= 0.0:
                     continue
                 headroom = (capacity - used[key]) / weight_sum
@@ -160,12 +215,110 @@ class ContentionLedger:
             if not newly_frozen:
                 # Every remaining flow advanced to its demand cap.
                 break
-            unfrozen -= newly_frozen
-        rec = obs_recorder()
-        if rec is not None:
-            rec.inc("sim.contention_iterations", iterations)
-            rec.inc("sim.contention_allocations")
-        return rate
+            unfrozen = [
+                flow_id for flow_id in unfrozen if flow_id not in newly_frozen
+            ]
+        return rate, iterations
+
+    def _allocate_vectorised(
+        self, ids: Sequence[str]
+    ) -> tuple[dict[str, float], int]:
+        """Progressive filling over a flows×resources weight matrix.
+
+        Bit-for-bit equal to :meth:`_allocate_scalar`: ``np.add.reduce``
+        along axis 0 accumulates rows strictly in order (numpy's pairwise
+        summation only applies along the contiguous axis), so the per-key
+        weight sums and usage updates run through the identical sequence of
+        IEEE additions as the scalar loop's flow-by-flow accumulation —
+        adding a zero weight is an exact no-op on the non-negative partial
+        sums — and the binding-resource scan replays the scalar loop's
+        sequential first-hit semantics.
+        """
+        res_keys = list(self.resources)
+        index_of = {key: j for j, key in enumerate(res_keys)}
+        num_flows, num_res = len(ids), len(res_keys)
+        # np.add.reduce only walks rows sequentially when the reduction
+        # stride is non-contiguous; a single resource column degenerates to
+        # a contiguous vector where numpy switches to pairwise summation,
+        # so always keep at least two columns via a zero-weight dummy
+        # resource (weightless -> never shared, never saturated, inert).
+        width = max(num_res, 2)
+        weight = np.zeros((num_flows, width))
+        for i, flow_id in enumerate(ids):
+            for key, value in self.flows[flow_id].weights.items():
+                weight[i, index_of[key]] = value
+        touches = weight > 0.0
+        caps = np.ones(width)
+        caps[:num_res] = [self.resources[key] for key in res_keys]
+        tol = _EPS * caps
+        sat_caps = caps * (1.0 - _EPS)
+        demand = np.array([self.flows[fid].demand for fid in ids], dtype=float)
+        demand_caps = demand * (1.0 - _EPS)
+        rate = np.zeros(num_flows)
+        used = np.zeros((1, width))
+        unfrozen = np.ones(num_flows, dtype=bool)
+        iterations = 0
+        while unfrozen.any():
+            iterations += 1
+            live = np.flatnonzero(unfrozen)
+            live_weights = weight[live]
+            step = float(np.min(demand[live] - rate[live]))
+            weight_sum = np.add.reduce(live_weights, axis=0)
+            shared = weight_sum > 0.0
+            headroom = np.full(width, np.inf)
+            np.divide(caps - used[0], weight_sum, out=headroom, where=shared)
+            step, binding = self._binding_scan(step, headroom, tol, shared)
+            if step > 0.0:
+                rate[live] += step
+                # One seeded row reduction == the scalar loop's interleaved
+                # ``used[key] += step * weight`` per unfrozen flow.
+                used = np.add.reduce(
+                    np.concatenate([used, step * live_weights]), axis=0, keepdims=True
+                )
+            saturated = binding | (used[0] >= sat_caps)
+            newly_frozen = unfrozen & (
+                (rate >= demand_caps) | np.any(touches & saturated, axis=1)
+            )
+            if not newly_frozen.any():
+                break
+            unfrozen &= ~newly_frozen
+        rates = {flow_id: float(rate[i]) for i, flow_id in enumerate(ids)}
+        return rates, iterations
+
+    @staticmethod
+    def _binding_scan(
+        step: float, headroom: np.ndarray, tol: np.ndarray, shared: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Replay the scalar loop's sequential binding-resource scan.
+
+        The scalar path walks resources in order, lowering ``step`` at every
+        resource whose headroom undercuts it and restarting the binding list
+        there.  Between two strict undercuts ``step`` is constant, so the
+        next undercut is simply the first later resource below the current
+        step — a vector compare and ``flatnonzero`` per jump instead of a
+        Python loop over every resource.
+        """
+        binding = np.zeros(headroom.shape, dtype=bool)
+        position = 0
+        last_strict = -1
+        while True:
+            strict = shared & (headroom < step - tol)
+            if position:
+                strict[:position] = False
+            hits = np.flatnonzero(strict)
+            if hits.size == 0:
+                break
+            last_strict = int(hits[0])
+            step = max(0.0, float(headroom[last_strict]))
+            position = last_strict + 1
+        # Near-binding resources are only collected at the final step value,
+        # and only from resources scanned after the last strict undercut.
+        near = shared & (np.abs(headroom - step) <= tol)
+        if last_strict >= 0:
+            near[: last_strict + 1] = False
+            binding[last_strict] = True
+        binding |= near
+        return step, binding
 
     def utilization(self, rates: Mapping[str, float]) -> dict[tuple, float]:
         """Per-resource bandwidth consumed by ``rates`` (for conservation checks)."""
@@ -191,6 +344,12 @@ class LinkContentionFactors:
     (other jobs' traffic) sharing any link of the route, plus this job's own
     stream.
 
+    The factor only depends on the endpoint *nodes*, so worst-link background
+    loads are memoised per node pair: the batched
+    :meth:`bandwidth_factors` used by the placement fast path walks each
+    distinct route once (served from the topology's route cache) instead of
+    re-walking ``topology.route()`` for every rank pair.
+
     Args:
         topology: the machine interconnect.
         mapping: rank-to-node mapping of the job being placed.
@@ -207,15 +366,44 @@ class LinkContentionFactors:
         self.topology = topology
         self.mapping = mapping
         self._loads = topology.link_loads(background_flows)
+        self._pair_factors: dict[tuple[int, int], float] = {}
+
+    def _node_pair_factor(self, src_node: int, dst_node: int) -> float:
+        """Worst background sharing factor between two nodes (memoised)."""
+        if src_node == dst_node or not self._loads:
+            return 1.0
+        pair = (src_node, dst_node)
+        factor = self._pair_factors.get(pair)
+        if factor is None:
+            worst = 0
+            for link in self.topology.route(src_node, dst_node).links:
+                load = self._loads.get(link.key)
+                if load is not None:
+                    worst = max(worst, load.flows)
+            factor = 1.0 + float(worst)
+            self._pair_factors[pair] = factor
+        return factor
 
     def bandwidth_factor(self, src_rank: int, dst_rank: int) -> float:
-        src = self.mapping.node(src_rank)
-        dst = self.mapping.node(dst_rank)
-        if src == dst:
-            return 1.0
-        worst = 0
-        for link in self.topology.route(src, dst).links:
-            load = self._loads.get(link.key)
-            if load is not None:
-                worst = max(worst, load.flows)
-        return 1.0 + float(worst)
+        """Sharing factor (>= 1) on the route between two ranks."""
+        return self._node_pair_factor(
+            self.mapping.node(src_rank), self.mapping.node(dst_rank)
+        )
+
+    def bandwidth_factors(
+        self, src_ranks: Sequence[int], dst_node: int
+    ) -> np.ndarray:
+        """Sharing factor of each rank's route to one destination node.
+
+        The batched twin of :meth:`bandwidth_factor` used by the placement
+        fast path: one node-array gather plus one memoised route walk per
+        distinct source node.
+        """
+        src_nodes = self.mapping.node_array[np.asarray(src_ranks, dtype=np.intp)]
+        if not self._loads:
+            return np.ones(src_nodes.shape)
+        nodes, inverse = np.unique(src_nodes, return_inverse=True)
+        factors = np.array(
+            [self._node_pair_factor(int(node), int(dst_node)) for node in nodes]
+        )
+        return factors[inverse]

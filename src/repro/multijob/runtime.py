@@ -21,14 +21,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.machine.machine import Machine
 from repro.multijob.allocator import NodeAllocator
 from repro.multijob.contention import ContentionLedger
 from repro.multijob.job import Job, JobSpec, bind_job
+from repro.utils.fastpath import fastpath_enabled
 from repro.utils.validation import require, require_positive
 
 #: Completion tolerance: a job is done when this close to its total bytes.
 _BYTES_EPS = 1e-6
+
+#: Relative completion tolerance: for multi-gigabyte jobs one float ulp of
+#: ``total_bytes`` exceeds the absolute tolerance, so without a relative
+#: term a job could sit within rounding error of completion while
+#: ``now + remaining/rate == now`` — a zero-width slice loop.
+_REL_BYTES_EPS = 1e-12
+
+
+class StarvedFlowError(RuntimeError):
+    """The fluid loop can make no further progress.
+
+    Raised when active jobs were allocated rate 0.0 with no pending arrival
+    or completion left to free capacity (every shared resource they touch is
+    saturated at zero headroom), or when a slice collapses to zero width
+    without completing a job — either way the loop would otherwise spin
+    forever without moving a byte.
+    """
 
 
 @dataclass(frozen=True)
@@ -168,7 +188,13 @@ class MultiJobRuntime:
     # ------------------------------------------------------------------ #
 
     def run(self) -> InterferenceReport:
-        """Advance all jobs to completion and report per-job slowdowns."""
+        """Advance all jobs to completion and report per-job slowdowns.
+
+        Dispatches to a vectorised slice loop when the fast path is on and
+        to the original per-job scalar loop otherwise; the two evolve the
+        identical sequence of ledger calls and IEEE arithmetic, so outcomes
+        and peak utilizations are bit-for-bit equal.
+        """
         report = InterferenceReport()
         for index, job_a in enumerate(self.jobs):
             for job_b in self.jobs[index + 1 :]:
@@ -181,42 +207,10 @@ class MultiJobRuntime:
             for job in self.jobs
         }
         now = min(job.ready_s for job in self.jobs)
-        pending = {job.name: job for job in self.jobs}
-        while pending:
-            active = [
-                job for job in pending.values() if job.ready_s <= now + _BYTES_EPS
-            ]
-            future_ready = [
-                job.ready_s for job in pending.values() if job.ready_s > now
-            ]
-            if not active:
-                now = min(future_ready)
-                continue
-            for job in active:
-                if job.io_start_s is None:
-                    job.io_start_s = max(now, job.ready_s)
-            rates = self.ledger.allocate([job.name for job in active])
-            for key, usage in self.ledger.utilization(rates).items():
-                capacity = self.ledger.resources[key]
-                peak[key] = max(peak[key], usage / capacity)
-            # Advance to the earliest of: slice end, a completion, an arrival.
-            horizon = now + self.slice_s
-            if future_ready:
-                horizon = min(horizon, min(future_ready))
-            for job in active:
-                rate = rates[job.name]
-                if rate > 0.0:
-                    remaining = job.total_bytes - job.bytes_done
-                    horizon = min(horizon, now + remaining / rate)
-            dt = max(horizon - now, 0.0)
-            for job in active:
-                job.bytes_done += rates[job.name] * dt
-            now = horizon
-            for job in list(active):
-                if job.bytes_done >= job.total_bytes - _BYTES_EPS:
-                    job.finish_s = now
-                    self.ledger.remove_flow(job.name)
-                    del pending[job.name]
+        if fastpath_enabled():
+            self._advance_vectorised(peak, now)
+        else:
+            self._advance_scalar(peak, now)
         for job in self.jobs:
             shared_io = max(job.finish_s - job.io_start_s, 0.0)
             isolated_io = solo_io_s[job.name]
@@ -236,6 +230,145 @@ class MultiJobRuntime:
             key: value for key, value in peak.items() if value > 0.0
         }
         return report
+
+    def _starved(self, names: Sequence[str]) -> StarvedFlowError:
+        keys = sorted(
+            {key for name in names for key in self.ledger.flows[name].weights},
+            key=repr,
+        )
+        return StarvedFlowError(
+            f"jobs {sorted(names)} were allocated rate 0.0 with no pending "
+            f"arrival or completion left to free capacity; every shared "
+            f"resource they touch is saturated: {keys}"
+        )
+
+    def _advance_scalar(self, peak: dict[tuple, float], now: float) -> None:
+        """The original per-job fluid loop over plain Python state."""
+        done_at = {
+            job.name: job.total_bytes
+            - max(_BYTES_EPS, job.total_bytes * _REL_BYTES_EPS)
+            for job in self.jobs
+        }
+        pending = {job.name: job for job in self.jobs}
+        while pending:
+            active = [
+                job for job in pending.values() if job.ready_s <= now + _BYTES_EPS
+            ]
+            future_ready = [
+                job.ready_s for job in pending.values() if job.ready_s > now
+            ]
+            if not active:
+                now = min(future_ready)
+                continue
+            for job in active:
+                if job.io_start_s is None:
+                    job.io_start_s = max(now, job.ready_s)
+            rates = self.ledger.allocate([job.name for job in active])
+            if all(rates[job.name] == 0.0 for job in active):
+                # Nothing moves this slice; jump to the next arrival, or —
+                # when there is none — nothing will ever move again.
+                if not future_ready:
+                    raise self._starved([job.name for job in active])
+                now = min(future_ready)
+                continue
+            for key, usage in self.ledger.utilization(rates).items():
+                capacity = self.ledger.resources[key]
+                peak[key] = max(peak[key], usage / capacity)
+            # Advance to the earliest of: slice end, a completion, an arrival.
+            horizon = now + self.slice_s
+            if future_ready:
+                horizon = min(horizon, min(future_ready))
+            for job in active:
+                rate = rates[job.name]
+                if rate > 0.0:
+                    remaining = job.total_bytes - job.bytes_done
+                    horizon = min(horizon, now + remaining / rate)
+            dt = max(horizon - now, 0.0)
+            for job in active:
+                job.bytes_done += rates[job.name] * dt
+            now = horizon
+            completed = False
+            for job in list(active):
+                if job.bytes_done >= done_at[job.name]:
+                    job.finish_s = now
+                    self.ledger.remove_flow(job.name)
+                    del pending[job.name]
+                    completed = True
+            if dt == 0.0 and not completed:
+                # A zero-width slice that completes nothing recomputes the
+                # identical state next iteration — a numerical stall.
+                raise self._starved([job.name for job in active])
+
+    def _advance_vectorised(self, peak: dict[tuple, float], now: float) -> None:
+        """Array-state twin of :meth:`_advance_scalar`.
+
+        Per-job bytes and readiness live in numpy arrays, every completion
+        horizon folds into one ``np.min``, and — because the ledger memoises
+        allocations per active-flow tuple — the per-slice ``allocate`` call
+        is a dict hit whenever the active set is unchanged.  Peak
+        utilization only changes when the active set (and therefore the
+        memoised allocation) does, so it is re-folded just on those slices;
+        each individual update uses the same arithmetic as the scalar loop,
+        keeping the report bit-identical.
+        """
+        jobs = self.jobs
+        names = [job.name for job in jobs]
+        ready = np.array([job.ready_s for job in jobs])
+        total = np.array([job.total_bytes for job in jobs])
+        done_at = total - np.maximum(_BYTES_EPS, total * _REL_BYTES_EPS)
+        done = np.array([job.bytes_done for job in jobs])
+        io_start: list[float | None] = [job.io_start_s for job in jobs]
+        finish: list[float | None] = [job.finish_s for job in jobs]
+        pending = np.ones(len(jobs), dtype=bool)
+        last_active: tuple[int, ...] | None = None
+        while pending.any():
+            active = pending & (ready <= now + _BYTES_EPS)
+            future = ready[pending & (ready > now)]
+            if not active.any():
+                now = float(np.min(future))
+                continue
+            live = np.flatnonzero(active)
+            for i in live:
+                if io_start[i] is None:
+                    io_start[i] = max(now, float(ready[i]))
+            rates_by_name = self.ledger.allocate([names[i] for i in live])
+            rates = np.array([rates_by_name[names[i]] for i in live])
+            if not rates.any():
+                if future.size == 0:
+                    raise self._starved([names[i] for i in live])
+                now = float(np.min(future))
+                continue
+            key = tuple(live)
+            if key != last_active:
+                last_active = key
+                for res_key, usage in self.ledger.utilization(rates_by_name).items():
+                    capacity = self.ledger.resources[res_key]
+                    peak[res_key] = max(peak[res_key], usage / capacity)
+            horizon = now + self.slice_s
+            if future.size:
+                horizon = min(horizon, float(np.min(future)))
+            moving = rates > 0.0
+            if moving.any():
+                remaining = total[live] - done[live]
+                horizon = min(
+                    horizon, float(np.min(now + remaining[moving] / rates[moving]))
+                )
+            dt = max(horizon - now, 0.0)
+            done[live] += rates * dt
+            now = horizon
+            completed = live[done[live] >= done_at[live]]
+            for i in completed:
+                finish[i] = now
+                self.ledger.remove_flow(names[i])
+                pending[i] = False
+            if dt == 0.0 and completed.size == 0:
+                # A zero-width slice that completes nothing recomputes the
+                # identical state next iteration — a numerical stall.
+                raise self._starved([names[i] for i in live])
+        for i, job in enumerate(jobs):
+            job.bytes_done = float(done[i])
+            job.io_start_s = io_start[i]
+            job.finish_s = finish[i]
 
     # ------------------------------------------------------------------ #
     # Diagnostics

@@ -121,14 +121,20 @@ def analyze_flows(
                 analysis.link_load[link.key] += 1
                 aggregators_on_link.setdefault(link.key, set()).add(aggregator)
         routes_by_aggregator[aggregator] = routes
-    # Second pass: per-aggregator contention, distance and bottleneck bandwidth.
+    # Second pass: per-aggregator contention, distance and bottleneck
+    # bandwidth.  The sharing degree of a link is fixed after the first
+    # pass, so it is flattened to an int per link once instead of taking
+    # ``len()`` of the aggregator set again for every route that crosses it.
+    sharing_of_link = {
+        key: len(aggregators) for key, aggregators in aggregators_on_link.items()
+    }
     for aggregator, routes in routes_by_aggregator.items():
         worst_sharing = 1.0
         min_bandwidth = float("inf")
         total_hops = 0
         for route in routes:
             for link in route.links:
-                sharing = len(aggregators_on_link.get(link.key, {aggregator}))
+                sharing = sharing_of_link.get(link.key, 1)
                 worst_sharing = max(worst_sharing, float(sharing))
                 min_bandwidth = min(min_bandwidth, link.bandwidth)
             total_hops += route.hops

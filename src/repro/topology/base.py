@@ -390,16 +390,19 @@ class Topology(abc.ABC):
             primitive the multi-job contention ledger uses to decide which
             links two concurrent jobs share.
         """
-        loads: dict[tuple[Endpoint, Endpoint], LinkLoad] = {}
+        # Accumulate plain counters and materialise one LinkLoad per link at
+        # the end instead of allocating a fresh frozen dataclass on every
+        # increment (large background-flow sets hit each link many times).
+        counts: dict[tuple[Endpoint, Endpoint], int] = {}
+        links: dict[tuple[Endpoint, Endpoint], Link] = {}
         for src, dst in flows:
             if src == dst:
                 continue
             for link in self.route(src, dst).links:
-                current = loads.get(link.key)
-                loads[link.key] = LinkLoad(
-                    link, 1 if current is None else current.flows + 1
-                )
-        return loads
+                key = link.key
+                counts[key] = counts.get(key, 0) + 1
+                links[key] = link
+        return {key: LinkLoad(links[key], count) for key, count in counts.items()}
 
     def average_distance(self, nodes: Iterable[int] | None = None) -> float:
         """Mean pairwise hop distance over ``nodes`` (defaults to all nodes).

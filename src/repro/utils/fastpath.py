@@ -38,12 +38,24 @@ def set_fastpath(enabled: bool) -> None:
 
 
 @contextmanager
-def fastpath_disabled() -> Iterator[None]:
-    """Run a block on the original scalar path (benchmarks, property tests)."""
+def fastpath_scope(enabled: bool) -> Iterator[None]:
+    """Pin the fast path on or off for a block, restoring the previous state.
+
+    The parameterised form lets equivalence harnesses run the same callable
+    symmetrically under both paths (``for on in (True, False): with
+    fastpath_scope(on): ...``) instead of special-casing the disabled leg.
+    """
     global _ENABLED
     previous = _ENABLED
-    _ENABLED = False
+    _ENABLED = bool(enabled)
     try:
         yield
     finally:
         _ENABLED = previous
+
+
+@contextmanager
+def fastpath_disabled() -> Iterator[None]:
+    """Run a block on the original scalar path (benchmarks, property tests)."""
+    with fastpath_scope(False):
+        yield

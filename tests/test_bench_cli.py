@@ -23,6 +23,14 @@ _FAST_ARGS = [
     # validated at scales 1 and 8, and table1 genuinely fails beyond that.
     "--run-all-scale",
     "8",
+    "--interference-flows",
+    "12",
+    "--interference-rounds",
+    "4",
+    "--interference-jobs",
+    "4",
+    "--interference-mb",
+    "64",
 ]
 
 
@@ -43,8 +51,14 @@ def test_bench_writes_payload_and_summary(tmp_path, capsys):
         )
     assert results["tune"]["points"] == 4
     assert results["run_all"]["experiments"] > 0
+    interference = results["interference"]
+    assert interference["flows"] == 12 and interference["resources"] == 48
+    assert interference["ledger"]["fast"]["alloc_per_s"] > 0
+    assert interference["ledger"]["scalar"]["alloc_per_s"] > 0
+    assert interference["sweep"]["fast"]["wall_s"] > 0
     captured = capsys.readouterr()
     assert "placement/theta" in captured.out
+    assert "interference/ledger" in captured.out
     assert str(out) in captured.out
 
 
@@ -146,12 +160,14 @@ class TestHistoryMetricsTable:
             "opt_exact_nodes_per_s": 1.0,
             "opt_anneal_flips_per_s": 1.0,
             "tune_points_per_s": 0.1,
+            "interference_alloc_per_s": 1.0,
             "run_all_wall_s": 1e6,
             "serve_cold_req_per_s": 0.1,
         }
         problems = history_regressions([bad])
-        assert len(problems) == 6
+        assert len(problems) == 7
         assert any("placement cand/s" in p and "below" in p for p in problems)
+        assert any("interference alloc/s" in p and "below" in p for p in problems)
         assert any("run-all wall s" in p and "above" in p for p in problems)
 
     def test_committed_bench_artifacts_clear_every_floor(self):
